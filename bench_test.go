@@ -1,0 +1,216 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md §6 calls out. These run at the tiny scale so `go test
+// -bench=.` finishes on a laptop; cmd/experiments regenerates the full
+// tables at larger scales.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+	"repro/internal/seed"
+)
+
+var benchDS *bench.Dataset
+
+func dataset(b *testing.B) *bench.Dataset {
+	b.Helper()
+	if benchDS == nil {
+		ds, err := bench.BuildDataset(bench.Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS = ds
+	}
+	return benchDS
+}
+
+// BenchmarkTable1Homogeneous regenerates Table I (all mappers on the CPU,
+// §III-A accuracy) once per iteration.
+func BenchmarkTable1Homogeneous(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Heterogeneous regenerates Table II (CPU + 2 GPUs,
+// §III-B accuracy).
+func BenchmarkTable2Heterogeneous(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Embedded regenerates Table III (HiKey970).
+func BenchmarkTable3Embedded(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Energy regenerates Table IV (power & energy, both
+// systems).
+func BenchmarkTable4Energy(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Split regenerates Fig. 3 (time vs reads offloaded per GPU).
+func BenchmarkFig3Split(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig3(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Smin regenerates Fig. 4 (time vs minimum k-mer length).
+func BenchmarkFig4Smin(b *testing.B) {
+	ds := dataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig4(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Filtration measures one DP filtration pass — the Fig. 1/2
+// demonstration workload (n=100, δ=5 optimal dividers).
+func BenchmarkFig1Filtration(b *testing.B) {
+	ds := dataset(b)
+	ix := fmindex.Build(ds.Ref, fmindex.Options{})
+	read := ds.Sets[100].Reads[0]
+	p := seed.Params{Errors: 5, MinSeedLen: 14}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (seed.REPUTE{}).Select(ix, read, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationSeedDPRepute vs ...OSS: the windowed DP against the
+// full Optimal Seed Solver (ops and allocations tell the memory story).
+func BenchmarkAblationSeedDPRepute(b *testing.B) {
+	benchSelector(b, seed.REPUTE{}, seed.Params{Errors: 5, MinSeedLen: 14})
+}
+
+// BenchmarkAblationSeedDPOSS is the unconstrained-optimum baseline.
+func BenchmarkAblationSeedDPOSS(b *testing.B) {
+	benchSelector(b, seed.OSS{}, seed.Params{Errors: 5})
+}
+
+// BenchmarkAblationFiltrationCORAL is the serial-heuristic baseline.
+func BenchmarkAblationFiltrationCORAL(b *testing.B) {
+	benchSelector(b, seed.CORAL{}, seed.Params{Errors: 5, MinSeedLen: 14})
+}
+
+// BenchmarkAblationFiltrationUniform is the textbook pigeonhole baseline.
+func BenchmarkAblationFiltrationUniform(b *testing.B) {
+	benchSelector(b, seed.Uniform{}, seed.Params{Errors: 5})
+}
+
+func benchSelector(b *testing.B, sel seed.Selector, p seed.Params) {
+	b.Helper()
+	ds := dataset(b)
+	ix := fmindex.Build(ds.Ref, fmindex.Options{})
+	reads := ds.Sets[150].Reads[:100]
+	b.ResetTimer()
+	totalCand := 0
+	for i := 0; i < b.N; i++ {
+		for _, r := range reads {
+			s, err := sel.Select(ix, r, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalCand += s.TotalCandidates
+		}
+	}
+	b.ReportMetric(float64(totalCand)/float64(b.N*len(reads)), "candidates/read")
+}
+
+// BenchmarkAblationLocateFullSA vs ...Sampled: the paper's §IV trade-off
+// between the full suffix array and a Bowtie2-style sampled one.
+func BenchmarkAblationLocateFullSA(b *testing.B) {
+	benchPipelineLocate(b, 0)
+}
+
+// BenchmarkAblationLocateSampled32 uses a 1/32-sampled suffix array.
+func BenchmarkAblationLocateSampled32(b *testing.B) {
+	benchPipelineLocate(b, 32)
+}
+
+func benchPipelineLocate(b *testing.B, rate int) {
+	b.Helper()
+	ds := dataset(b)
+	ix := fmindex.Build(ds.Ref, fmindex.Options{SASampleRate: rate})
+	p, err := core.NewFromIndex(ix, []*cl.Device{cl.SystemOneCPU()}, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads := ds.Sets[100].Reads[:100]
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Map(reads, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SimSeconds, "sim-s/op")
+	}
+	b.ReportMetric(float64(ix.SizeBytes()), "index-bytes")
+}
+
+// BenchmarkAblationVerifyMyers vs ...Banded: the verification kernel
+// choice (multi-word Myers vs banded DP) on pipeline-shaped windows.
+func BenchmarkAblationVerifyMyers(b *testing.B) {
+	benchVerify(b, true)
+}
+
+// BenchmarkAblationVerifyBanded is the banded-DP verification baseline.
+func BenchmarkAblationVerifyBanded(b *testing.B) {
+	benchVerify(b, false)
+}
+
+func benchVerify(b *testing.B, myers bool) {
+	b.Helper()
+	ds := dataset(b)
+	text := ds.Ref
+	reads := ds.Sets[150].Reads[:200]
+	const k = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, r := range reads {
+			pos := (j * 997) % (len(text) - len(r) - 2*k)
+			window := text[pos : pos+len(r)+2*k]
+			if myers {
+				benchSinkEnd, benchSinkDist = alignDistance(r, window, k)
+			} else {
+				benchSinkEnd, benchSinkDist = alignBanded(r, window, k)
+			}
+		}
+	}
+}
+
+var benchSinkEnd, benchSinkDist int

@@ -1,0 +1,83 @@
+// Command accuracy scores a mapper's SAM output against a gold-standard
+// SAM using the paper's metrics (§III-A all-locations, §III-B any-best)
+// plus the Rabema all-best category.
+//
+// Usage:
+//
+//	accuracy -gold gold.sam -test test.sam [-tol 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/mapper"
+	"repro/internal/sam"
+)
+
+func main() {
+	goldPath := flag.String("gold", "", "gold-standard SAM (required)")
+	testPath := flag.String("test", "", "SAM under evaluation (required)")
+	tol := flag.Int("tol", 5, "position tolerance in bp (normally δ)")
+	flag.Parse()
+	if err := run(*goldPath, *testPath, int32(*tol)); err != nil {
+		fmt.Fprintln(os.Stderr, "accuracy:", err)
+		os.Exit(1)
+	}
+}
+
+func loadSAM(path string) (map[string][]mapper.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := sam.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sam.GroupByRead(recs), nil
+}
+
+func run(goldPath, testPath string, tol int32) error {
+	if goldPath == "" || testPath == "" {
+		return fmt.Errorf("-gold and -test are required")
+	}
+	goldByRead, err := loadSAM(goldPath)
+	if err != nil {
+		return err
+	}
+	testByRead, err := loadSAM(testPath)
+	if err != nil {
+		return err
+	}
+
+	// Align the two files on the gold file's read names (sorted for
+	// deterministic output); reads absent from the test file count as
+	// unmapped there.
+	names := make([]string, 0, len(goldByRead))
+	for name := range goldByRead {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	gold := make([][]mapper.Mapping, len(names))
+	test := make([][]mapper.Mapping, len(names))
+	missing := 0
+	for i, name := range names {
+		gold[i] = goldByRead[name]
+		if ms, ok := testByRead[name]; ok {
+			test[i] = ms
+		} else {
+			missing++
+		}
+	}
+
+	fmt.Printf("reads in gold: %d (test file missing %d of them)\n", len(names), missing)
+	fmt.Printf("all-locations (§III-A): %6.2f%%\n", eval.AccuracyAll(gold, test, tol))
+	fmt.Printf("any-best     (§III-B): %6.2f%%\n", eval.AccuracyAnyBest(gold, test, tol))
+	fmt.Printf("all-best     (Rabema): %6.2f%%\n", eval.AccuracyAllBest(gold, test, tol))
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command inspect prints reference statistics: k-mer frequency spectra,
+// the multi-mapping read fraction and index footprints. Use it to check
+// that a (synthetic or real) reference lands in the filtration regime an
+// experiment assumes.
+//
+// Usage:
+//
+//	inspect -ref ref.fa [-k 11,16]
+//	inspect -synthetic 1000000 -seed 1 [-k 11,16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fastx"
+	"repro/internal/fmindex"
+	"repro/internal/refstats"
+	"repro/internal/simulate"
+)
+
+func main() {
+	refPath := flag.String("ref", "", "reference FASTA to inspect")
+	synthetic := flag.Int("synthetic", 0, "generate and inspect a chr21-like reference of this length instead")
+	seed := flag.Int64("seed", 1, "seed for -synthetic")
+	kList := flag.String("k", "8,11", "comma-separated k-mer lengths for spectra")
+	flag.Parse()
+
+	if err := run(*refPath, *synthetic, *seed, *kList); err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(refPath string, synthetic int, seed int64, kList string) error {
+	var text []byte
+	switch {
+	case synthetic > 0:
+		text = simulate.Reference(simulate.Chr21Like(synthetic, seed))
+		fmt.Printf("synthetic chr21-like reference (seed %d)\n", seed)
+	case refPath != "":
+		f, err := os.Open(refPath)
+		if err != nil {
+			return err
+		}
+		recs, err := fastx.ReadFasta(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(0))
+		for _, rec := range recs {
+			codes, err := fastx.CodesOf(rec, rng)
+			if err != nil {
+				return err
+			}
+			text = append(text, codes...)
+		}
+		fmt.Printf("%s: %d record(s)\n", refPath, len(recs))
+	default:
+		return fmt.Errorf("one of -ref or -synthetic is required")
+	}
+
+	var ks []int
+	for _, s := range strings.Split(kList, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -k entry %q: %v", s, err)
+		}
+		ks = append(ks, k)
+	}
+	if err := refstats.Report(os.Stdout, text, ks); err != nil {
+		return err
+	}
+
+	ix := fmindex.Build(text, fmindex.Options{})
+	for _, readLen := range []int{100, 150} {
+		if len(text) <= readLen {
+			continue
+		}
+		frac := refstats.MultiMapFraction(ix, text, readLen, 16, len(text)/2000+1)
+		fmt.Printf("multi-mapping fraction (%d-bp reads, 16-mer seeds): %.1f%%\n", readLen, 100*frac)
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+// Command repute is the REPUTE mapper CLI: build an FM-index from a
+// reference and map FASTQ reads on the simulated heterogeneous platforms,
+// emitting SAM.
+//
+// Usage:
+//
+//	repute index -ref ref.fa -out ref.rix [-sa-rate 0]
+//	repute map -index ref.rix -reads reads.fq [-e 5] [-smin 0]
+//	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
+//	           [-max-locations 100] [-selector dp|coral] [-out out.sam]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/dna"
+	"repro/internal/fastx"
+	"repro/internal/fmindex"
+	"repro/internal/genome"
+	"repro/internal/mapper"
+	"repro/internal/sam"
+	"repro/internal/seed"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = runIndex(os.Args[2:])
+	case "map":
+		err = runMap(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repute:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `repute — OpenCL-style read mapper for heterogeneous systems (simulated devices)
+
+subcommands:
+  index  -ref ref.fa -out ref.rix [-sa-rate N]
+  map    -index ref.rix -reads reads.fq [flags]`)
+}
+
+func runIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	refPath := fs.String("ref", "", "reference FASTA (required)")
+	outPath := fs.String("out", "", "output index path (required)")
+	saRate := fs.Int("sa-rate", 0, "suffix-array sample rate (0 = full SA; >0 trades locate speed for memory)")
+	fs.Parse(args)
+	if *refPath == "" || *outPath == "" {
+		return fmt.Errorf("index: -ref and -out are required")
+	}
+	g, err := loadReference(*refPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ix := fmindex.Build(g.Text(), fmindex.Options{SASampleRate: *saRate})
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	// Index file layout: contig table (text) followed by the FM-index
+	// blob, so `map` can report per-contig coordinates.
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d contig(s), %d bp in %s (%d B in memory, locate=%s)\n",
+		len(g.Contigs()), ix.Len(), time.Since(start).Round(time.Millisecond),
+		ix.SizeBytes(), locateMode(*saRate))
+	return nil
+}
+
+func locateMode(rate int) string {
+	if rate <= 0 {
+		return "full suffix array"
+	}
+	return fmt.Sprintf("sampled 1/%d", rate)
+}
+
+func loadReference(path string) (*genome.Genome, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := fastx.ReadFasta(f)
+	if err != nil {
+		return nil, err
+	}
+	// FASTA names may contain descriptions; keep the first token so SAM
+	// RNAMEs stay clean.
+	for i := range recs {
+		if fields := strings.Fields(recs[i].Name); len(fields) > 0 {
+			recs[i].Name = fields[0]
+		}
+	}
+	return genome.FromFasta(recs, rand.New(rand.NewSource(0)))
+}
+
+func platformDevices(name string) ([]*cl.Device, error) {
+	switch name {
+	case "system1":
+		return cl.SystemOne().Devices, nil
+	case "system1-cpu":
+		return []*cl.Device{cl.SystemOneCPU()}, nil
+	case "hikey970":
+		return cl.HiKey970().Devices, nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q (system1, system1-cpu, hikey970)", name)
+	}
+}
+
+func parseSplit(s string, n int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("split has %d entries for %d devices", len(parts), n)
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad split entry %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func runMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index built by `repute index` (required)")
+	readsPath := fs.String("reads", "", "FASTQ reads (required; mate 1 when -reads2 is given)")
+	reads2Path := fs.String("reads2", "", "FASTQ mate-2 reads: enables paired-end mode")
+	minInsert := fs.Int("min-insert", 100, "paired mode: minimum fragment length")
+	maxInsert := fs.Int("max-insert", 1000, "paired mode: maximum fragment length")
+	errorsFlag := fs.Int("e", 5, "maximum edit distance δ")
+	sminFlag := fs.Int("smin", 0, "minimum k-mer length Smin (0 = auto)")
+	platform := fs.String("platform", "system1-cpu", "device platform: system1, system1-cpu, hikey970")
+	splitFlag := fs.String("split", "", "per-device workload split, e.g. 0.52,0.24,0.24")
+	maxLoc := fs.Int("max-locations", 100, "first-n locations reported per read")
+	selector := fs.String("selector", "dp", "filtration: dp (REPUTE) or coral (heuristic)")
+	cigarFlag := fs.Bool("cigar", false, "recover CIGAR strings for reported mappings")
+	outPath := fs.String("out", "", "SAM output path (default stdout)")
+	fs.Parse(args)
+	if *indexPath == "" || *readsPath == "" {
+		return fmt.Errorf("map: -index and -reads are required")
+	}
+
+	ixf, err := os.Open(*indexPath)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(ixf)
+	contigs, err := genome.ReadContigs(br)
+	if err != nil {
+		ixf.Close()
+		return fmt.Errorf("%s: %w (rebuild with `repute index`)", *indexPath, err)
+	}
+	ix, err := fmindex.ReadFrom(br)
+	ixf.Close()
+	if err != nil {
+		return err
+	}
+	g, err := genome.FromParts(contigs, ix.Text().Unpack())
+	if err != nil {
+		return err
+	}
+
+	rf, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	recs, err := fastx.ReadFastq(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(0))
+	reads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if reads[i], err = fastx.CodesOf(rec, rng); err != nil {
+			return err
+		}
+	}
+
+	devices, err := platformDevices(*platform)
+	if err != nil {
+		return err
+	}
+	split, err := parseSplit(*splitFlag, len(devices))
+	if err != nil {
+		return err
+	}
+	var sel seed.Selector
+	name := "REPUTE"
+	switch *selector {
+	case "dp":
+		sel = seed.REPUTE{}
+	case "coral":
+		sel, name = seed.CORAL{}, "CORAL"
+	default:
+		return fmt.Errorf("unknown selector %q (dp, coral)", *selector)
+	}
+	p, err := core.NewFromIndex(ix, devices, core.Config{Name: name, Selector: sel, Split: split})
+	if err != nil {
+		return err
+	}
+
+	if *reads2Path != "" {
+		return runMapPaired(p, g, recs, reads, *reads2Path, *errorsFlag, *sminFlag,
+			*maxLoc, int32(*minInsert), int32(*maxInsert), *outPath)
+	}
+
+	wallStart := time.Now()
+	res, err := p.Map(reads, mapper.Options{
+		MaxErrors:    *errorsFlag,
+		MaxLocations: *maxLoc,
+		MinSeedLen:   *sminFlag,
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(wallStart)
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	refs := make([]sam.RefSeq, len(g.Contigs()))
+	for i, c := range g.Contigs() {
+		refs[i] = sam.RefSeq{Name: c.Name, Length: c.Length}
+	}
+	sw, err := sam.NewMultiWriter(out, refs)
+	if err != nil {
+		return err
+	}
+	dropped := 0
+	for i, rec := range recs {
+		var alns []sam.Alignment
+		for _, m := range res.Mappings[i] {
+			// Alignments straddling a contig boundary are concatenation
+			// artefacts; drop them.
+			if g.SpansBoundary(int(m.Pos), len(reads[i])) {
+				dropped++
+				continue
+			}
+			contig, off, err := g.Locate(int(m.Pos))
+			if err != nil {
+				return err
+			}
+			aln := sam.Alignment{
+				RName:  contig.Name,
+				Pos:    int32(off),
+				Strand: m.Strand,
+				Dist:   m.Dist,
+			}
+			if len(alns) == 0 {
+				aln.MAPQ = mapper.EstimateMAPQ(res.Mappings[i])
+			}
+			if *cigarFlag {
+				c, err := p.CigarFor(reads[i], m, *errorsFlag)
+				if err != nil {
+					return fmt.Errorf("read %s: %w", rec.Name, err)
+				}
+				aln.Cigar = c.String()
+			}
+			alns = append(alns, aln)
+		}
+		if err := sw.WriteAlignments(rec.Name, []byte(dna.Decode(reads[i])), alns); err != nil {
+			return err
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "dropped %d boundary-spanning alignment(s)\n", dropped)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"mapped %d reads: %d with locations, %d total locations\n"+
+			"simulated mapping time %.3f s, marginal energy %.2f J (host wall %s)\n",
+		len(reads), res.MappedReads(), res.TotalLocations(),
+		res.SimSeconds, res.EnergyJ, wall.Round(time.Millisecond))
+	for dev, sec := range res.DeviceSeconds {
+		fmt.Fprintf(os.Stderr, "  %-32s %.3f s busy\n", dev, sec)
+	}
+	return nil
+}
+
+// runMapPaired maps mate pairs and writes properly-paired SAM records for
+// concordant fragments, single-end records otherwise.
+func runMapPaired(p *core.Pipeline, g *genome.Genome, recs1 []fastx.Record, reads1 [][]byte,
+	reads2Path string, errors, smin, maxLoc int, minInsert, maxInsert int32, outPath string) error {
+	rf, err := os.Open(reads2Path)
+	if err != nil {
+		return err
+	}
+	recs2, err := fastx.ReadFastq(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	if len(recs2) != len(recs1) {
+		return fmt.Errorf("paired input mismatch: %d mate-1 reads, %d mate-2 reads",
+			len(recs1), len(recs2))
+	}
+	rng := rand.New(rand.NewSource(0))
+	reads2 := make([][]byte, len(recs2))
+	for i, rec := range recs2 {
+		if reads2[i], err = fastx.CodesOf(rec, rng); err != nil {
+			return err
+		}
+	}
+
+	res, err := p.MapPairs(reads1, reads2, mapper.PairOptions{
+		Options:   mapper.Options{MaxErrors: errors, MaxLocations: maxLoc, MinSeedLen: smin},
+		MinInsert: minInsert,
+		MaxInsert: maxInsert,
+	})
+	if err != nil {
+		return err
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	refs := make([]sam.RefSeq, len(g.Contigs()))
+	for i, c := range g.Contigs() {
+		refs[i] = sam.RefSeq{Name: c.Name, Length: c.Length}
+	}
+	sw, err := sam.NewMultiWriter(out, refs)
+	if err != nil {
+		return err
+	}
+	concordant := 0
+	for i := range reads1 {
+		name := strings.TrimSuffix(recs1[i].Name, "/1")
+		wrote := false
+		for _, pr := range res.Pairs[i] {
+			// Both mates must sit inside one contig.
+			if g.SpansBoundary(int(pr.First.Pos), len(reads1[i])) ||
+				g.SpansBoundary(int(pr.Second.Pos), len(reads2[i])) {
+				continue
+			}
+			c1, off1, err := g.Locate(int(pr.First.Pos))
+			if err != nil {
+				return err
+			}
+			c2, off2, err := g.Locate(int(pr.Second.Pos))
+			if err != nil {
+				return err
+			}
+			if c1.Name != c2.Name {
+				continue
+			}
+			local := pr
+			local.First.Pos = int32(off1)
+			local.Second.Pos = int32(off2)
+			if err := sw.WritePair(name,
+				[]byte(dna.Decode(reads1[i])), []byte(dna.Decode(reads2[i])),
+				local, c1.Name); err != nil {
+				return err
+			}
+			concordant++
+			wrote = true
+			break // primary pair only
+		}
+		if wrote {
+			continue
+		}
+		// Discordant fragment: fall back to single-end records per mate.
+		for mate, ms := range [][]mapper.Mapping{res.Single1[i], res.Single2[i]} {
+			reads := reads1
+			if mate == 1 {
+				reads = reads2
+			}
+			var alns []sam.Alignment
+			for _, m := range ms {
+				if g.SpansBoundary(int(m.Pos), len(reads[i])) {
+					continue
+				}
+				contig, off, err := g.Locate(int(m.Pos))
+				if err != nil {
+					return err
+				}
+				aln := sam.Alignment{
+					RName: contig.Name, Pos: int32(off), Strand: m.Strand, Dist: m.Dist,
+				}
+				if len(alns) == 0 {
+					aln.MAPQ = mapper.EstimateMAPQ(ms)
+				}
+				alns = append(alns, aln)
+			}
+			mateName := fmt.Sprintf("%s/%d", name, mate+1)
+			if err := sw.WriteAlignments(mateName, []byte(dna.Decode(reads[i])), alns); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"paired mapping: %d/%d fragments concordant, simulated time %.3f s, energy %.2f J\n",
+		concordant, len(reads1), res.SimSeconds, res.EnergyJ)
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "REPUTE: An OpenCL
+// based Read Mapping Tool for Embedded Genomics" (DATE 2020).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); executables are under cmd/ and runnable examples under
+// examples/. This root package only hosts the module-level benchmark
+// harness (bench_test.go), which regenerates every table and figure of
+// the paper's evaluation as Go benchmarks.
+package repro

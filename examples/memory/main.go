@@ -1,0 +1,62 @@
+// Memory demo: the paper's §IV discusses REPUTE's large footprint — the
+// FM-index plus a full suffix array — and points to fixed-interval
+// sampling (as in Bowtie 2) as the fix. This example builds both index
+// variants, shows the footprint difference, and maps the same reads with
+// each to show the locate-time cost that buys the memory back.
+//
+//	go run ./examples/memory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+func main() {
+	ref := simulate.Reference(simulate.Chr21Like(400_000, 13))
+	set, err := simulate.Reads(ref, 500, simulate.ERR012100, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+	dev := cl.SystemOneCPU()
+
+	fmt.Printf("reference: %d bp; %d reads (n=100, δ=4) on %s\n\n", len(ref), len(set.Reads), dev.Name)
+	fmt.Printf("%-22s %14s %12s %12s\n", "locate structure", "index bytes", "B/base", "T(sim s)")
+	var fullMaps, sampledMaps int
+	for _, cfg := range []struct {
+		label string
+		rate  int
+	}{
+		{"full suffix array", 0},
+		{"sampled 1/16", 16},
+		{"sampled 1/64", 64},
+	} {
+		ix := fmindex.Build(ref, fmindex.Options{SASampleRate: cfg.rate})
+		p, err := core.NewFromIndex(ix, []*cl.Device{dev}, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Map(set.Reads, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %14d %12.2f %12.5f\n",
+			cfg.label, ix.SizeBytes(), float64(ix.SizeBytes())/float64(len(ref)), res.SimSeconds)
+		if cfg.rate == 0 {
+			fullMaps = res.TotalLocations()
+		} else if cfg.rate == 64 {
+			sampledMaps = res.TotalLocations()
+		}
+	}
+	fmt.Printf("\nreported locations are identical across variants (%d vs %d):\n", fullMaps, sampledMaps)
+	fmt.Println("sampling changes where suffix positions are stored, not what is found —")
+	fmt.Println("each located candidate walks ≤ rate-1 LF steps back to a sampled row.")
+	fmt.Println("On the paper's 1.5 GB GTX 590s this is what makes chr-scale indexes fit.")
+}

@@ -1,0 +1,66 @@
+// Paired-end demo: the paper maps the "_1" mates of paired NCBI runs as
+// single-end reads; this example shows the library's paired mode and the
+// classic payoff — a mate lost in an Alu-like repeat is pinned to its
+// true copy by its uniquely-mapping partner.
+//
+//	go run ./examples/pairedend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+func main() {
+	ref := simulate.Reference(simulate.Chr21Like(150_000, 41))
+	set, err := simulate.PairedReads(ref, 400, simulate.ERR012100, 420, 40, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := core.New(ref, []*cl.Device{cl.SystemOneCPU()}, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := mapper.PairOptions{
+		Options:   mapper.Options{MaxErrors: 4, MaxLocations: 200},
+		MinInsert: 250, MaxInsert: 650,
+	}
+	res, err := pipeline.MapPairs(set.Reads1, set.Reads2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d fragments mapped in %.4f simulated seconds\n", len(set.Reads1), res.SimSeconds)
+	fmt.Printf("concordant fragments: %d/%d\n\n", res.ConcordantFragments(), len(set.Reads1))
+
+	// Find the most dramatic rescue: many single-end locations, one pair.
+	bestIdx, bestAmbiguity := -1, 0
+	for i := range set.Origins {
+		amb := len(res.Single1[i])
+		if len(res.Single2[i]) > amb {
+			amb = len(res.Single2[i])
+		}
+		if len(res.Pairs[i]) == 1 && amb > bestAmbiguity {
+			bestIdx, bestAmbiguity = i, amb
+		}
+	}
+	if bestIdx < 0 {
+		fmt.Println("no ambiguous fragment in this sample — rerun with another seed")
+		return
+	}
+	i := bestIdx
+	o := set.Origins[i]
+	pr := res.Pairs[i][0]
+	fmt.Printf("fragment %d: mate1 has %d single-end locations, mate2 has %d\n",
+		i, len(res.Single1[i]), len(res.Single2[i]))
+	fmt.Printf("pairing pins it to a single concordant placement:\n")
+	fmt.Printf("  mate1 %c%-8d mate2 %c%-8d insert %d\n",
+		pr.First.Strand, pr.First.Pos, pr.Second.Strand, pr.Second.Pos, pr.Insert)
+	fmt.Printf("  truth %c%-8d       %c%-8d insert %d\n",
+		o.Strand1, o.Pos1, o.Strand2, o.Pos2, o.Insert)
+}

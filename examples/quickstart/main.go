@@ -1,0 +1,65 @@
+// Quickstart: build a reference, index it, map a handful of reads with
+// REPUTE on the simulated workstation CPU, and print the mappings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/dna"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+func main() {
+	// 1. A synthetic chr21-like reference (100 kbp here; use mkdata for
+	// larger workloads or load your own FASTA with internal/fastx).
+	ref := simulate.Reference(simulate.Chr21Like(100_000, 42))
+
+	// 2. Simulated 100-bp reads with an Illumina-like error profile and
+	// known origins.
+	set, err := simulate.Reads(ref, 10, simulate.ERR012100, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A REPUTE pipeline on the workstation CPU device. core.New builds
+	// the FM-index + suffix array preprocessing internally.
+	pipeline, err := core.New(ref, []*cl.Device{cl.SystemOneCPU()}, core.Config{Name: "REPUTE-cpu"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Map with edit distance 4, reporting the first 10 locations per
+	// read (the paper's static first-n output policy).
+	res, err := pipeline.Map(set.Reads, mapper.Options{MaxErrors: 4, MaxLocations: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mapped %d/%d reads in %.4f simulated seconds (%.3f J)\n\n",
+		res.MappedReads(), len(set.Reads), res.SimSeconds, res.EnergyJ)
+	for i, ms := range res.Mappings {
+		origin := set.Origins[i]
+		fmt.Printf("read %d  (origin %d%c, %d edit(s))  %s...\n",
+			i, origin.Pos, origin.Strand, origin.Edits, dna.Decode(set.Reads[i][:24]))
+		for _, m := range ms {
+			marker := " "
+			if m.Strand == origin.Strand && abs(int(m.Pos)-int(origin.Pos)) <= 4 {
+				marker = "*" // the true origin
+			}
+			fmt.Printf("  %s pos %-8d strand %c  distance %d\n", marker, m.Pos, m.Strand, m.Dist)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper's §IV notes REPUTE "currently does not produce the CIGAR
+// string" and defers it to future versions; this file is that feature.
+// Coordinates come from the cheap bit-vector Verify pass; the CIGAR is
+// recovered by a small full-DP traceback over just the matched window
+// slice, so the cost is O(m·(m+2δ)) only for mappings that are actually
+// reported.
+
+// CigarElem is one run-length-encoded alignment operation, SAM-style:
+// 'M' consumes both sequences (match or mismatch), 'I' consumes only the
+// read, 'D' consumes only the reference.
+type CigarElem struct {
+	Op  byte
+	Len int
+}
+
+// Cigar is a run-length-encoded alignment.
+type Cigar []CigarElem
+
+// String renders the standard SAM form, e.g. "42M1I57M"; "*" when empty.
+func (c Cigar) String() string {
+	if len(c) == 0 {
+		return "*"
+	}
+	var b strings.Builder
+	for _, e := range c {
+		fmt.Fprintf(&b, "%d%c", e.Len, e.Op)
+	}
+	return b.String()
+}
+
+// ReadLen returns the number of read bases the CIGAR consumes (M+I).
+func (c Cigar) ReadLen() int {
+	n := 0
+	for _, e := range c {
+		if e.Op == 'M' || e.Op == 'I' {
+			n += e.Len
+		}
+	}
+	return n
+}
+
+// RefLen returns the number of reference bases consumed (M+D).
+func (c Cigar) RefLen() int {
+	n := 0
+	for _, e := range c {
+		if e.Op == 'M' || e.Op == 'D' {
+			n += e.Len
+		}
+	}
+	return n
+}
+
+// Edits returns the edit count implied by the alignment against the
+// given sequences (mismatches inside M runs plus I/D lengths).
+func (c Cigar) Edits(pattern, refSegment []byte) int {
+	edits := 0
+	pi, ri := 0, 0
+	for _, e := range c {
+		switch e.Op {
+		case 'M':
+			for k := 0; k < e.Len; k++ {
+				if pattern[pi+k] != refSegment[ri+k] {
+					edits++
+				}
+			}
+			pi += e.Len
+			ri += e.Len
+		case 'I':
+			edits += e.Len
+			pi += e.Len
+		case 'D':
+			edits += e.Len
+			ri += e.Len
+		}
+	}
+	return edits
+}
+
+// AlignCigar verifies pattern inside window (semi-global, distance <=
+// maxDist) and additionally recovers the CIGAR of the best alignment.
+// The Match coordinates are window-relative, as in Verify.
+func AlignCigar(pattern, window []byte, maxDist int) (Match, Cigar, bool) {
+	m, ok := Verify(pattern, window, maxDist)
+	if !ok {
+		return Match{}, nil, false
+	}
+	cigar := globalCigar(pattern, window[m.Start:m.End])
+	return m, cigar, true
+}
+
+// globalCigar runs a full Needleman-Wunsch (unit costs) with traceback
+// between pattern and segment, both ends anchored.
+func globalCigar(pattern, segment []byte) Cigar {
+	m, n := len(pattern), len(segment)
+	// dp is (m+1)x(n+1); from stores the move that reached each cell:
+	// 'M' diagonal, 'I' up (read-consuming), 'D' left (ref-consuming).
+	dp := make([]int32, (m+1)*(n+1))
+	from := make([]byte, (m+1)*(n+1))
+	at := func(i, j int) int { return i*(n+1) + j }
+	for j := 1; j <= n; j++ {
+		dp[at(0, j)] = int32(j)
+		from[at(0, j)] = 'D'
+	}
+	for i := 1; i <= m; i++ {
+		dp[at(i, 0)] = int32(i)
+		from[at(i, 0)] = 'I'
+		for j := 1; j <= n; j++ {
+			cost := int32(1)
+			if pattern[i-1] == segment[j-1] {
+				cost = 0
+			}
+			best := dp[at(i-1, j-1)] + cost
+			op := byte('M')
+			if v := dp[at(i-1, j)] + 1; v < best {
+				best, op = v, 'I'
+			}
+			if v := dp[at(i, j-1)] + 1; v < best {
+				best, op = v, 'D'
+			}
+			dp[at(i, j)] = best
+			from[at(i, j)] = op
+		}
+	}
+	// Trace back from (m, n).
+	var rev []byte
+	i, j := m, n
+	for i > 0 || j > 0 {
+		op := from[at(i, j)]
+		rev = append(rev, op)
+		switch op {
+		case 'M':
+			i--
+			j--
+		case 'I':
+			i--
+		case 'D':
+			j--
+		}
+	}
+	// Reverse and run-length encode.
+	var out Cigar
+	for k := len(rev) - 1; k >= 0; k-- {
+		op := rev[k]
+		if len(out) > 0 && out[len(out)-1].Op == op {
+			out[len(out)-1].Len++
+		} else {
+			out = append(out, CigarElem{Op: op, Len: 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestCigarStringAndLens(t *testing.T) {
+	c := Cigar{{Op: 'M', Len: 42}, {Op: 'I', Len: 1}, {Op: 'M', Len: 57}}
+	if got := c.String(); got != "42M1I57M" {
+		t.Errorf("String = %q", got)
+	}
+	if c.ReadLen() != 100 {
+		t.Errorf("ReadLen = %d want 100", c.ReadLen())
+	}
+	if c.RefLen() != 99 {
+		t.Errorf("RefLen = %d want 99", c.RefLen())
+	}
+	if got := Cigar(nil).String(); got != "*" {
+		t.Errorf("empty String = %q want *", got)
+	}
+}
+
+func TestAlignCigarExact(t *testing.T) {
+	p := dna.MustEncode("ACGTACGT")
+	w := dna.MustEncode("TTACGTACGTTT")
+	m, c, ok := AlignCigar(p, w, 0)
+	if !ok || m.Dist != 0 {
+		t.Fatalf("exact match not found: %+v %v", m, ok)
+	}
+	if c.String() != "8M" {
+		t.Errorf("cigar = %s want 8M", c)
+	}
+	if m.Start != 2 || m.End != 10 {
+		t.Errorf("coords = %d..%d want 2..10", m.Start, m.End)
+	}
+}
+
+func TestAlignCigarSubstitution(t *testing.T) {
+	p := dna.MustEncode("ACGTACGT")
+	w := dna.MustEncode("ACGAACGT") // sub at index 3
+	_, c, ok := AlignCigar(p, w, 1)
+	if !ok {
+		t.Fatal("not found")
+	}
+	// A substitution stays inside an M run.
+	if c.String() != "8M" {
+		t.Errorf("cigar = %s want 8M", c)
+	}
+	if edits := c.Edits(p, w); edits != 1 {
+		t.Errorf("Edits = %d want 1", edits)
+	}
+}
+
+func TestAlignCigarIndel(t *testing.T) {
+	// Read has an extra base vs the reference: expect an I.
+	p := dna.MustEncode("ACGTTACGT")
+	w := dna.MustEncode("GGACGTACGTGG")
+	m, c, ok := AlignCigar(p, w, 1)
+	if !ok || m.Dist != 1 {
+		t.Fatalf("match = %+v ok=%v", m, ok)
+	}
+	hasI := false
+	for _, e := range c {
+		if e.Op == 'I' {
+			hasI = true
+		}
+	}
+	if !hasI {
+		t.Errorf("cigar %s lacks insertion", c)
+	}
+	if c.ReadLen() != len(p) {
+		t.Errorf("ReadLen %d != pattern %d", c.ReadLen(), len(p))
+	}
+	if c.RefLen() != m.End-m.Start {
+		t.Errorf("RefLen %d != window span %d", c.RefLen(), m.End-m.Start)
+	}
+}
+
+func TestAlignCigarConsistencyRandom(t *testing.T) {
+	// Properties: CIGAR consumes exactly the read and the matched window
+	// slice, and its implied edit count equals the reported distance.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 20 + rng.Intn(130)
+		p := randSeq(rng, m)
+		k := rng.Intn(6)
+		mutated := mutate(rng, p, k)
+		window := append(append(randSeq(rng, rng.Intn(10)), mutated...), randSeq(rng, rng.Intn(10))...)
+		match, c, ok := AlignCigar(p, window, k)
+		if !ok {
+			t.Fatalf("trial %d: planted alignment not found", trial)
+		}
+		if c.ReadLen() != len(p) {
+			t.Fatalf("trial %d: cigar consumes %d read bases want %d (%s)",
+				trial, c.ReadLen(), len(p), c)
+		}
+		if c.RefLen() != match.End-match.Start {
+			t.Fatalf("trial %d: cigar consumes %d ref bases want %d",
+				trial, c.RefLen(), match.End-match.Start)
+		}
+		if edits := c.Edits(p, window[match.Start:match.End]); edits != match.Dist {
+			t.Fatalf("trial %d: cigar edits %d but match dist %d (%s)",
+				trial, edits, match.Dist, c)
+		}
+	}
+}
+
+func TestAlignCigarReject(t *testing.T) {
+	if _, _, ok := AlignCigar(dna.MustEncode("AAAA"), dna.MustEncode("CCCCCC"), 1); ok {
+		t.Error("hopeless alignment accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package align
+
+// Affine-gap alignment (Gotoh, 1982). The verification pipeline scores
+// unit edits (Levenshtein), which is what the paper's mappers compare on;
+// downstream consumers of SAM output usually want affine-gap scores
+// (opening a gap costs more than extending it), so the library provides
+// them as a standalone scorer over the already-located window.
+
+// Scoring configures the affine-gap model. Scores are additive, higher is
+// better; gap penalties are positive numbers that get subtracted.
+type Scoring struct {
+	Match     int32
+	Mismatch  int32 // typically negative
+	GapOpen   int32 // cost of the first base of a gap (positive)
+	GapExtend int32 // cost of each further base (positive)
+}
+
+// DefaultScoring mirrors the BWA-MEM defaults (1, -4, 6, 1).
+func DefaultScoring() Scoring {
+	return Scoring{Match: 1, Mismatch: -4, GapOpen: 6, GapExtend: 1}
+}
+
+// GotohResult is a scored glocal alignment of the whole pattern inside
+// the window.
+type GotohResult struct {
+	Score      int32
+	Start, End int // window coordinates, half open
+	Cigar      Cigar
+}
+
+// Gotoh aligns the whole pattern against any substring of the window
+// (semi-global) under affine-gap scoring, returning the best-scoring
+// placement with its CIGAR. Complexity O(len(pattern)·len(window)) time.
+func Gotoh(pattern, window []byte, sc Scoring) (GotohResult, bool) {
+	m, n := len(pattern), len(window)
+	if m == 0 || n == 0 {
+		return GotohResult{}, false
+	}
+	const negInf = int32(-1 << 30)
+	// Three layers: M (match/mismatch), X (gap in window / read
+	// insertion), Y (gap in read / deletion). Rows over the pattern.
+	type cell struct{ m, x, y int32 }
+	prev := make([]cell, n+1)
+	cur := make([]cell, n+1)
+	// Traceback stores a packed move per (layer, i, j).
+	type move struct{ mFrom, xFrom, yFrom byte } // 'M','X','Y' predecessors
+	tb := make([][]move, m+1)
+	for i := range tb {
+		tb[i] = make([]move, n+1)
+	}
+	// Row 0: the alignment may start at any window position for free.
+	for j := 0; j <= n; j++ {
+		prev[j] = cell{m: 0, x: negInf, y: negInf}
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = cell{m: negInf, x: -sc.GapOpen - sc.GapExtend*int32(i-1) - sc.GapExtend, y: negInf}
+		if i == 1 {
+			cur[0].x = -sc.GapOpen
+		}
+		for j := 1; j <= n; j++ {
+			sub := sc.Mismatch
+			if pattern[i-1] == window[j-1] {
+				sub = sc.Match
+			}
+			// M layer: diagonal from the best layer.
+			bm, bf := prev[j-1].m, byte('M')
+			if prev[j-1].x > bm {
+				bm, bf = prev[j-1].x, 'X'
+			}
+			if prev[j-1].y > bm {
+				bm, bf = prev[j-1].y, 'Y'
+			}
+			cm := bm + sub
+			// X layer: consume a pattern base against a gap (from above).
+			xo := prev[j].m - sc.GapOpen
+			xe := prev[j].x - sc.GapExtend
+			cx, xf := xo, byte('M')
+			if xe > cx {
+				cx, xf = xe, 'X'
+			}
+			// Y layer: consume a window base against a gap (from left).
+			yo := cur[j-1].m - sc.GapOpen
+			ye := cur[j-1].y - sc.GapExtend
+			cy, yf := yo, byte('M')
+			if ye > cy {
+				cy, yf = ye, 'Y'
+			}
+			cur[j] = cell{m: cm, x: cx, y: cy}
+			tb[i][j] = move{mFrom: bf, xFrom: xf, yFrom: yf}
+		}
+		prev, cur = cur, prev
+	}
+	// Best end: max over layers in the last pattern row (prev after swap).
+	bestJ, bestScore, bestLayer := -1, negInf, byte('M')
+	for j := 1; j <= n; j++ {
+		for _, l := range []struct {
+			layer byte
+			score int32
+		}{{'M', prev[j].m}, {'X', prev[j].x}, {'Y', prev[j].y}} {
+			if l.score > bestScore {
+				bestScore, bestJ, bestLayer = l.score, j, l.layer
+			}
+		}
+	}
+	if bestJ < 0 || bestScore == negInf {
+		return GotohResult{}, false
+	}
+	// The scan above only kept two rolling rows; rerun to recover the
+	// full traceback is avoided by having stored tb moves per cell, but
+	// moves alone do not say which (i, j) decrement applies in X/Y —
+	// they do: X consumes i, Y consumes j, M consumes both.
+	var rev []byte
+	i, j, layer := m, bestJ, bestLayer
+	for i > 0 && j > 0 {
+		mv := tb[i][j]
+		switch layer {
+		case 'M':
+			rev = append(rev, 'M')
+			layer = mv.mFrom
+			i--
+			j--
+		case 'X':
+			rev = append(rev, 'I')
+			layer = mv.xFrom
+			i--
+		case 'Y':
+			rev = append(rev, 'D')
+			layer = mv.yFrom
+			j--
+		}
+	}
+	for i > 0 { // leading read bases against the window edge
+		rev = append(rev, 'I')
+		i--
+	}
+	start := j
+	var cigar Cigar
+	for k := len(rev) - 1; k >= 0; k-- {
+		op := rev[k]
+		if len(cigar) > 0 && cigar[len(cigar)-1].Op == op {
+			cigar[len(cigar)-1].Len++
+		} else {
+			cigar = append(cigar, CigarElem{Op: op, Len: 1})
+		}
+	}
+	return GotohResult{Score: bestScore, Start: start, End: bestJ, Cigar: cigar}, true
+}

@@ -1,0 +1,120 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestGotohExactMatch(t *testing.T) {
+	p := dna.MustEncode("ACGTACGT")
+	w := dna.MustEncode("TTACGTACGTTT")
+	res, ok := Gotoh(p, w, DefaultScoring())
+	if !ok {
+		t.Fatal("no alignment")
+	}
+	if res.Score != 8 || res.Start != 2 || res.End != 10 {
+		t.Errorf("result = %+v want score 8, span 2..10", res)
+	}
+	if res.Cigar.String() != "8M" {
+		t.Errorf("cigar = %s", res.Cigar)
+	}
+}
+
+func TestGotohMismatchScoring(t *testing.T) {
+	p := dna.MustEncode("ACGTACGT")
+	w := dna.MustEncode("ACGAACGT")
+	res, ok := Gotoh(p, w, DefaultScoring())
+	if !ok {
+		t.Fatal("no alignment")
+	}
+	if res.Score != 7-4 { // 7 matches, 1 mismatch at -4
+		t.Errorf("score = %d want 3", res.Score)
+	}
+}
+
+func TestGotohAffinePreference(t *testing.T) {
+	// With affine gaps, one 2-base gap (6+1+1=8) must beat two 1-base
+	// gaps (2x(6+1)=14); the unit-cost model cannot express this.
+	p := dna.MustEncode("AAAACCCCGGGGTTTT")
+	// Window deletes two adjacent read bases (CC):
+	w := dna.MustEncode("AAAACCGGGGTTTT")
+	res, ok := Gotoh(p, w, DefaultScoring())
+	if !ok {
+		t.Fatal("no alignment")
+	}
+	gaps := 0
+	for _, e := range res.Cigar {
+		if e.Op == 'I' {
+			gaps++
+			if e.Len != 2 {
+				t.Errorf("gap length %d want one 2-base insertion: %s", e.Len, res.Cigar)
+			}
+		}
+	}
+	if gaps != 1 {
+		t.Errorf("cigar %s has %d insertion runs want 1", res.Cigar, gaps)
+	}
+	// A k-base gap costs GapOpen + (k-1)*GapExtend: 6+1 = 7 here.
+	if got, want := res.Score, int32(14-6-1); got != want {
+		t.Errorf("score = %d want %d", got, want)
+	}
+}
+
+func TestGotohCigarConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		m := 20 + rng.Intn(100)
+		p := randSeq(rng, m)
+		mutated := mutate(rng, p, rng.Intn(4))
+		w := append(append(randSeq(rng, rng.Intn(12)), mutated...), randSeq(rng, rng.Intn(12))...)
+		res, ok := Gotoh(p, w, DefaultScoring())
+		if !ok {
+			t.Fatalf("trial %d: no alignment", trial)
+		}
+		if res.Cigar.ReadLen() != len(p) {
+			t.Fatalf("trial %d: cigar consumes %d read bases want %d (%s)",
+				trial, res.Cigar.ReadLen(), len(p), res.Cigar)
+		}
+		if res.Cigar.RefLen() != res.End-res.Start {
+			t.Fatalf("trial %d: cigar span %d want %d", trial, res.Cigar.RefLen(), res.End-res.Start)
+		}
+		// Recompute the score from the CIGAR; must match.
+		sc := DefaultScoring()
+		var score int32
+		pi, wi := 0, res.Start
+		for _, e := range res.Cigar {
+			switch e.Op {
+			case 'M':
+				for k := 0; k < e.Len; k++ {
+					if p[pi+k] == w[wi+k] {
+						score += sc.Match
+					} else {
+						score += sc.Mismatch
+					}
+				}
+				pi += e.Len
+				wi += e.Len
+			case 'I':
+				score -= sc.GapOpen + sc.GapExtend*int32(e.Len-1)
+				pi += e.Len
+			case 'D':
+				score -= sc.GapOpen + sc.GapExtend*int32(e.Len-1)
+				wi += e.Len
+			}
+		}
+		if score != res.Score {
+			t.Fatalf("trial %d: cigar score %d reported %d (%s)", trial, score, res.Score, res.Cigar)
+		}
+	}
+}
+
+func TestGotohEmptyInputs(t *testing.T) {
+	if _, ok := Gotoh(nil, dna.MustEncode("ACGT"), DefaultScoring()); ok {
+		t.Error("empty pattern aligned")
+	}
+	if _, ok := Gotoh(dna.MustEncode("ACGT"), nil, DefaultScoring()); ok {
+		t.Error("empty window aligned")
+	}
+}

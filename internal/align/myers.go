@@ -1,0 +1,214 @@
+// Package align implements the verification-stage string matching used by
+// every mapper in this repository: Myers' bit-vector algorithm (Myers,
+// J. ACM 1999) in the multi-word block formulation of Hyyrö, a banded DP
+// variant, and plain dynamic-programming references that the fast paths
+// are tested against.
+//
+// All functions perform semi-global alignment: the whole pattern must
+// align, but it may start and end anywhere in the text window, which is
+// exactly the verification problem after pigeonhole filtration.
+package align
+
+import "math/bits"
+
+// Match describes one verified alignment inside a text window.
+// Start/End are window coordinates with the usual half-open convention;
+// Dist is the edit distance.
+type Match struct {
+	Start, End, Dist int
+}
+
+// myersState holds the per-pattern preprocessing for the block algorithm.
+// One state can verify the same pattern against many windows.
+type myersState struct {
+	m     int
+	words int
+	peq   [4][]uint64
+	// lastMask has the bit for pattern row m-1 within the last word.
+	lastMask uint64
+}
+
+// newMyersState preprocesses pattern (base codes) for repeated searches.
+func newMyersState(pattern []byte) *myersState {
+	m := len(pattern)
+	w := (m + 63) / 64
+	st := &myersState{m: m, words: w}
+	for c := 0; c < 4; c++ {
+		st.peq[c] = make([]uint64, w)
+	}
+	for i, c := range pattern {
+		st.peq[c][i/64] |= 1 << uint(i%64)
+	}
+	st.lastMask = 1 << uint((m-1)%64)
+	return st
+}
+
+// advanceBlock performs one column step on a single 64-row block.
+// hin is the horizontal delta entering the block bottom (-1, 0 or +1);
+// the returned hout leaves at the block top.
+func advanceBlock(pv, mv, eq uint64, hin int) (pvOut, mvOut uint64, hout int) {
+	xv := eq | mv
+	if hin < 0 {
+		eq |= 1
+	}
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	hout = 0
+	if ph&(1<<63) != 0 {
+		hout = 1
+	} else if mh&(1<<63) != 0 {
+		hout = -1
+	}
+	ph <<= 1
+	mh <<= 1
+	switch {
+	case hin < 0:
+		mh |= 1
+	case hin > 0:
+		ph |= 1
+	}
+	pvOut = mh | ^(xv | ph)
+	mvOut = ph & xv
+	return pvOut, mvOut, hout
+}
+
+// search runs the semi-global scan of the pattern over text, invoking fn
+// with (endExclusive, dist) for every column whose score is <= maxDist.
+// It returns the best (lowest, earliest) column.
+func (st *myersState) search(text []byte, maxDist int, fn func(end, dist int)) (bestEnd, bestDist int) {
+	w := st.words
+	pv := make([]uint64, w)
+	mv := make([]uint64, w)
+	for i := range pv {
+		pv[i] = ^uint64(0)
+	}
+	score := st.m
+	bestEnd, bestDist = -1, maxDist+1
+	for j, c := range text {
+		hin := 0
+		for b := 0; b < w; b++ {
+			var hout int
+			if b == w-1 {
+				// Track the score at pattern row m-1, which may sit
+				// below bit 63 of the last word.
+				pvb, mvb := pv[b], mv[b]
+				eq := st.peq[c][b]
+				xv := eq | mvb
+				if hin < 0 {
+					eq |= 1
+				}
+				xh := (((eq & pvb) + pvb) ^ pvb) | eq
+				ph := mvb | ^(xh | pvb)
+				mh := pvb & xh
+				if ph&st.lastMask != 0 {
+					score++
+				} else if mh&st.lastMask != 0 {
+					score--
+				}
+				ph <<= 1
+				mh <<= 1
+				switch {
+				case hin < 0:
+					mh |= 1
+				case hin > 0:
+					ph |= 1
+				}
+				pv[b] = mh | ^(xv | ph)
+				mv[b] = ph & xv
+				hout = 0 // unused past the last block
+				_ = hout
+			} else {
+				pv[b], mv[b], hin = advanceBlock(pv[b], mv[b], st.peq[c][b], hin)
+			}
+		}
+		if score <= maxDist {
+			if fn != nil {
+				fn(j+1, score)
+			}
+			if score < bestDist {
+				bestDist, bestEnd = score, j+1
+			}
+		}
+	}
+	if bestEnd < 0 {
+		return -1, -1
+	}
+	return bestEnd, bestDist
+}
+
+// Distance returns the minimum semi-global edit distance of pattern
+// against any substring of text, together with the end (exclusive) of the
+// earliest best match. If no alignment has distance <= maxDist it returns
+// (-1, -1).
+func Distance(pattern, text []byte, maxDist int) (end, dist int) {
+	if len(pattern) == 0 {
+		return 0, 0
+	}
+	if maxDist >= len(pattern) {
+		// The whole pattern can be deleted; any position matches.
+		maxDist = len(pattern) - 1
+		if maxDist < 0 {
+			return 0, 0
+		}
+	}
+	st := newMyersState(pattern)
+	return st.search(text, maxDist, nil)
+}
+
+// Occurrences invokes fn(end, dist) for every text column where the
+// pattern matches with distance <= maxDist. Ends are exclusive.
+func Occurrences(pattern, text []byte, maxDist int, fn func(end, dist int)) {
+	if len(pattern) == 0 {
+		return
+	}
+	st := newMyersState(pattern)
+	st.search(text, maxDist, fn)
+}
+
+// Verify checks whether pattern aligns in window with distance <= maxDist
+// and, when it does, recovers the full match coordinates: the forward pass
+// finds the best end and a reverse pass over reversed strings finds the
+// matching start.
+func Verify(pattern, window []byte, maxDist int) (Match, bool) {
+	if len(pattern) == 0 {
+		return Match{}, true
+	}
+	end, dist := Distance(pattern, window, maxDist)
+	if end < 0 {
+		return Match{}, false
+	}
+	// Reverse both strings up to the found end; the best end of the
+	// reverse problem is the distance from `end` back to the start.
+	rp := reverse(pattern)
+	rw := reverse(window[:end])
+	rend, rdist := Distance(rp, rw, dist)
+	if rend < 0 {
+		// The reverse search is over the prefix that produced dist, so
+		// this cannot happen; guard anyway.
+		return Match{Start: 0, End: end, Dist: dist}, true
+	}
+	return Match{Start: end - rend, End: end, Dist: rdist}, true
+}
+
+func reverse(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+// WordCost reports the number of 64-bit block updates one column costs
+// for a pattern of length m — the unit the simulated kernels account per
+// verified window column.
+func WordCost(m int) int { return (m + 63) / 64 }
+
+// popcountWords is exposed for whitebox testing of bit bookkeeping.
+func popcountWords(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+	"repro/internal/seed"
+)
+
+// Ablations quantifies the design choices DESIGN.md §6 calls out, on one
+// dataset: filtration strategy quality/cost, locate-structure footprint
+// vs speed, and verification kernel choice.
+type Ablations struct {
+	Filtration []FiltrationRow
+	Locate     []LocateRow
+	Verify     []VerifyRow
+}
+
+// FiltrationRow compares one seed-selection strategy.
+type FiltrationRow struct {
+	Name         string
+	CandPerRead  float64
+	FMPerRead    float64
+	DPCells      float64
+	PeakMemBytes int
+}
+
+// LocateRow compares one suffix-array configuration.
+type LocateRow struct {
+	Name       string
+	IndexBytes int64
+	SimSeconds float64
+}
+
+// VerifyRow compares one verification algorithm (host wall time — these
+// all run on the same silicon, so wall time is the honest metric).
+type VerifyRow struct {
+	Name     string
+	NsPerWin float64
+}
+
+// RunAblations executes all three studies at a bounded cost.
+func RunAblations(ds *Dataset) (*Ablations, error) {
+	out := &Ablations{}
+	ix := fmindex.Build(ds.Ref, fmindex.Options{})
+	reads := ds.Sets[150].Reads
+	if len(reads) > 600 {
+		reads = reads[:600]
+	}
+
+	// 1. Filtration strategies at (n=150, δ=5).
+	params := seed.Params{Errors: 5, MinSeedLen: core.DefaultMinSeedLen(150, 5)}
+	for _, sel := range []seed.Selector{seed.Uniform{}, seed.CORAL{}, seed.REPUTE{}, seed.OSS{}} {
+		var cands, fm, cells, peak int
+		for _, r := range reads {
+			s, err := sel.Select(ix, r, params)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s: %w", sel.Name(), err)
+			}
+			cands += s.TotalCandidates
+			fm += s.FMSteps
+			cells += s.DPCells
+			if s.PeakMemBytes > peak {
+				peak = s.PeakMemBytes
+			}
+		}
+		n := float64(len(reads))
+		out.Filtration = append(out.Filtration, FiltrationRow{
+			Name:         sel.Name(),
+			CandPerRead:  float64(cands) / n,
+			FMPerRead:    float64(fm) / n,
+			DPCells:      float64(cells) / n,
+			PeakMemBytes: peak,
+		})
+	}
+
+	// 2. Locate structures: map a subset through the pipeline on the CPU
+	// device with each index variant.
+	sub := reads
+	if len(sub) > 300 {
+		sub = sub[:300]
+	}
+	opt := mapper.Options{MaxErrors: 5, MaxLocations: 100}
+	for _, cfg := range []struct {
+		name string
+		rate int
+	}{{"full suffix array", 0}, {"sampled 1/16", 16}, {"sampled 1/64", 64}} {
+		vix := ix
+		if cfg.rate != 0 {
+			vix = fmindex.Build(ds.Ref, fmindex.Options{SASampleRate: cfg.rate})
+		}
+		p, err := core.NewFromIndex(vix, []*cl.Device{cl.SystemOneCPU()}, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Map(sub, opt)
+		if err != nil {
+			return nil, err
+		}
+		out.Locate = append(out.Locate, LocateRow{
+			Name:       cfg.name,
+			IndexBytes: vix.SizeBytes(),
+			SimSeconds: res.SimSeconds,
+		})
+	}
+
+	// 3. Verification kernels over pipeline-shaped windows.
+	const k = 5
+	type verifier struct {
+		name string
+		fn   func(p, w []byte) (int, int)
+	}
+	verifiers := []verifier{
+		{"Myers bit-vector", func(p, w []byte) (int, int) { return align.Distance(p, w, k) }},
+		{"banded DP", func(p, w []byte) (int, int) { return align.BandedDistance(p, w, k) }},
+		{"full DP", func(p, w []byte) (int, int) { return align.DistanceDP(p, w, k) }},
+	}
+	for _, v := range verifiers {
+		start := time.Now()
+		wins := 0
+		for rep := 0; rep < 3; rep++ {
+			for j, r := range reads {
+				pos := (j*997 + rep*131) % (len(ds.Ref) - len(r) - 2*k)
+				window := ds.Ref[pos : pos+len(r)+2*k]
+				v.fn(r, window)
+				wins++
+			}
+		}
+		out.Verify = append(out.Verify, VerifyRow{
+			Name:     v.name,
+			NsPerWin: float64(time.Since(start).Nanoseconds()) / float64(wins),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the three studies.
+func (a *Ablations) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation 1: filtration strategies (n=150, δ=5)")
+	fmt.Fprintf(w, "  %-18s %12s %12s %12s %10s\n", "strategy", "cand/read", "FM/read", "DPcells/read", "peak B")
+	for _, r := range a.Filtration {
+		fmt.Fprintf(w, "  %-18s %12.1f %12.1f %12.1f %10d\n",
+			r.Name, r.CandPerRead, r.FMPerRead, r.DPCells, r.PeakMemBytes)
+	}
+	fmt.Fprintln(w, "\nAblation 2: locate structure (§IV memory discussion)")
+	fmt.Fprintf(w, "  %-18s %14s %12s\n", "structure", "index bytes", "T(sim s)")
+	for _, r := range a.Locate {
+		fmt.Fprintf(w, "  %-18s %14d %12.5f\n", r.Name, r.IndexBytes, r.SimSeconds)
+	}
+	fmt.Fprintln(w, "\nAblation 3: verification kernel (host ns per window)")
+	for _, r := range a.Verify {
+		fmt.Fprintf(w, "  %-18s %12.0f ns\n", r.Name, r.NsPerWin)
+	}
+}

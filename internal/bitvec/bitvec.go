@@ -1,0 +1,101 @@
+// Package bitvec provides a static bit vector with O(1) rank support.
+// The FM-index uses it to mark sampled suffix-array rows; it is small and
+// allocation-free after construction.
+package bitvec
+
+import "math/bits"
+
+// blockBits is the span covered by one precomputed rank entry.
+const blockBits = 512
+
+// Rank is an immutable bit vector of fixed length with constant-time
+// Rank1 queries. Build one with a Builder.
+type Rank struct {
+	words []uint64
+	// super[i] = number of set bits in words before block i.
+	super []int32
+	n     int
+	ones  int
+}
+
+// Builder accumulates set bits before freezing into a Rank.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a builder for a vector of n bits, all initially zero.
+func NewBuilder(n int) *Builder {
+	return &Builder{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set sets bit i.
+func (b *Builder) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Build freezes the builder into a queryable Rank vector.
+func (b *Builder) Build() *Rank {
+	wordsPerBlock := blockBits / 64
+	nBlocks := (len(b.words) + wordsPerBlock - 1) / wordsPerBlock
+	super := make([]int32, nBlocks+1)
+	total := 0
+	for blk := 0; blk < nBlocks; blk++ {
+		super[blk] = int32(total)
+		for w := blk * wordsPerBlock; w < (blk+1)*wordsPerBlock && w < len(b.words); w++ {
+			total += bits.OnesCount64(b.words[w])
+		}
+	}
+	super[nBlocks] = int32(total)
+	return &Rank{words: b.words, super: super, n: b.n, ones: total}
+}
+
+// Len returns the number of bits.
+func (r *Rank) Len() int { return r.n }
+
+// Ones returns the total number of set bits.
+func (r *Rank) Ones() int { return r.ones }
+
+// Get reports whether bit i is set.
+func (r *Rank) Get(i int) bool {
+	return r.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Rank1 returns the number of set bits in positions [0, i).
+func (r *Rank) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > r.n {
+		i = r.n
+	}
+	blk := i / blockBits
+	cnt := int(r.super[blk])
+	wordsPerBlock := blockBits / 64
+	firstWord := blk * wordsPerBlock
+	lastWord := i >> 6
+	for w := firstWord; w < lastWord; w++ {
+		cnt += bits.OnesCount64(r.words[w])
+	}
+	if rem := uint(i & 63); rem != 0 {
+		cnt += bits.OnesCount64(r.words[lastWord] & (1<<rem - 1))
+	}
+	return cnt
+}
+
+// SizeBytes reports the memory footprint of the structure, used by the
+// simulated-device buffer accounting.
+func (r *Rank) SizeBytes() int64 {
+	return int64(len(r.words)*8 + len(r.super)*4)
+}
+
+// Words exposes the underlying bit words for serialization. The slice is
+// shared; callers must not modify it.
+func (r *Rank) Words() []uint64 { return r.words }
+
+// FromWords reconstructs a Rank vector of n bits from raw words previously
+// obtained via Words; the rank directory is recomputed.
+func FromWords(words []uint64, n int) *Rank {
+	b := &Builder{words: words, n: n}
+	return b.Build()
+}

@@ -1,0 +1,126 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildFromBools(bitsIn []bool) *Rank {
+	b := NewBuilder(len(bitsIn))
+	for i, set := range bitsIn {
+		if set {
+			b.Set(i)
+		}
+	}
+	return b.Build()
+}
+
+func TestEmpty(t *testing.T) {
+	r := NewBuilder(0).Build()
+	if r.Len() != 0 || r.Ones() != 0 || r.Rank1(0) != 0 {
+		t.Errorf("empty vector misbehaves: len=%d ones=%d", r.Len(), r.Ones())
+	}
+}
+
+func TestGetAndRankSmall(t *testing.T) {
+	pattern := []bool{true, false, true, true, false, false, true}
+	r := buildFromBools(pattern)
+	wantRank := 0
+	for i, set := range pattern {
+		if r.Get(i) != set {
+			t.Errorf("Get(%d) = %v want %v", i, r.Get(i), set)
+		}
+		if r.Rank1(i) != wantRank {
+			t.Errorf("Rank1(%d) = %d want %d", i, r.Rank1(i), wantRank)
+		}
+		if set {
+			wantRank++
+		}
+	}
+	if r.Rank1(len(pattern)) != wantRank {
+		t.Errorf("Rank1(n) = %d want %d", r.Rank1(len(pattern)), wantRank)
+	}
+	if r.Ones() != wantRank {
+		t.Errorf("Ones = %d want %d", r.Ones(), wantRank)
+	}
+}
+
+func TestRankAcrossBlockBoundaries(t *testing.T) {
+	// Sizes straddling the 512-bit block boundary and 64-bit words.
+	for _, n := range []int{63, 64, 65, 511, 512, 513, 1024, 1537} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pattern := make([]bool, n)
+		for i := range pattern {
+			pattern[i] = rng.Intn(3) == 0
+		}
+		r := buildFromBools(pattern)
+		rank := 0
+		for i := 0; i <= n; i++ {
+			if got := r.Rank1(i); got != rank {
+				t.Fatalf("n=%d: Rank1(%d) = %d want %d", n, i, got, rank)
+			}
+			if i < n && pattern[i] {
+				rank++
+			}
+		}
+	}
+}
+
+func TestRankOutOfRangeClamps(t *testing.T) {
+	r := buildFromBools([]bool{true, true, false})
+	if got := r.Rank1(100); got != 2 {
+		t.Errorf("Rank1(past end) = %d want 2", got)
+	}
+	if got := r.Rank1(-5); got != 0 {
+		t.Errorf("Rank1(negative) = %d want 0", got)
+	}
+}
+
+func TestRankProperty(t *testing.T) {
+	f := func(raw []byte, queryRaw uint16) bool {
+		pattern := make([]bool, len(raw))
+		for i, b := range raw {
+			pattern[i] = b&1 == 1
+		}
+		r := buildFromBools(pattern)
+		i := int(queryRaw)
+		if len(pattern) > 0 {
+			i %= len(pattern) + 1
+		} else {
+			i = 0
+		}
+		want := 0
+		for j := 0; j < i; j++ {
+			if pattern[j] {
+				want++
+			}
+		}
+		return r.Rank1(i) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	r := buildFromBools(make([]bool, 10_000))
+	if r.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes = %d want > 0", r.SizeBytes())
+	}
+}
+
+func BenchmarkRank1(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	bld := NewBuilder(1 << 20)
+	for i := 0; i < 1<<18; i++ {
+		bld.Set(rng.Intn(1 << 20))
+	}
+	r := bld.Build()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Rank1(i & (1<<20 - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,84 @@
+// Package bwt computes the Burrows-Wheeler transform of a DNA text from
+// its suffix array. The transform is the permutation of the text that the
+// FM-index ranks; the sentinel row convention used here matches
+// internal/fmindex.
+package bwt
+
+import "repro/internal/suffix"
+
+// Transform returns the BWT of text over the logical string text+"$",
+// where the sentinel sorts before every base. The returned slice has
+// length len(text)+1; the entry at the returned sentinelRow corresponds to
+// the sentinel and holds 0 as a placeholder (rank structures must exclude
+// it). sa is the suffix array of text as produced by suffix.Build.
+func Transform(text []byte, sa []int32) (bwtCodes []byte, sentinelRow int) {
+	n := len(text)
+	out := make([]byte, n+1)
+	// Row 0 of the conceptual sorted rotation matrix is the sentinel
+	// suffix "$"; its BWT character is the last character of the text.
+	if n > 0 {
+		out[0] = text[n-1]
+	}
+	sentinelRow = 0
+	for i, pos := range sa {
+		row := i + 1 // shift by one for the sentinel suffix at row 0
+		if pos == 0 {
+			out[row] = 0 // placeholder for '$'
+			sentinelRow = row
+		} else {
+			out[row] = text[pos-1]
+		}
+	}
+	return out, sentinelRow
+}
+
+// FromText is a convenience that builds the suffix array itself.
+func FromText(text []byte) (bwtCodes []byte, sentinelRow int) {
+	return Transform(text, suffix.Build(text))
+}
+
+// Invert reconstructs the original text from a BWT produced by Transform.
+// It exists to let tests assert the transform is lossless.
+func Invert(bwtCodes []byte, sentinelRow int) []byte {
+	m := len(bwtCodes) // n+1
+	if m <= 1 {
+		return nil
+	}
+	n := m - 1
+	// Count symbol occurrences, excluding the sentinel placeholder.
+	var counts [5]int // index 0 is the sentinel itself
+	for i, c := range bwtCodes {
+		if i == sentinelRow {
+			continue
+		}
+		counts[int(c)+1]++
+	}
+	// first[c] = row of the first occurrence of symbol c in column F.
+	var first [5]int
+	sum := 1 // the sentinel occupies row 0 of F
+	for c := 1; c < 5; c++ {
+		first[c] = sum
+		sum += counts[c]
+	}
+	// LF mapping: lf[i] = first[sym] + (rank of sym among bwt[0..i)).
+	lf := make([]int, m)
+	var seen [5]int
+	for i, c := range bwtCodes {
+		if i == sentinelRow {
+			lf[i] = 0
+			continue
+		}
+		sym := int(c) + 1
+		lf[i] = first[sym] + seen[sym]
+		seen[sym]++
+	}
+	// Row 0 is the sentinel suffix, whose L character is the last text
+	// character; LF walks the text right to left from there.
+	out := make([]byte, n)
+	row := 0
+	for k := n - 1; k >= 0; k-- {
+		out[k] = bwtCodes[row]
+		row = lf[row]
+	}
+	return out
+}

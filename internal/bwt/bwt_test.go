@@ -1,0 +1,114 @@
+package bwt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+func TestTransformKnown(t *testing.T) {
+	// T = ACGT. Sorted suffixes of ACGT$: $, ACGT$, CGT$, GT$, T$.
+	// L column: T, $, A, C, G -> codes with placeholder at row 1.
+	text := dna.MustEncode("ACGT")
+	b, row := FromText(text)
+	if row != 1 {
+		t.Fatalf("sentinelRow = %d want 1", row)
+	}
+	want := []byte{dna.T, 0, dna.A, dna.C, dna.G}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bwt = %v want %v", b, want)
+		}
+	}
+}
+
+func TestInvertKnown(t *testing.T) {
+	text := dna.MustEncode("GATTACA")
+	b, row := FromText(text)
+	got := Invert(b, row)
+	if dna.Decode(got) != "GATTACA" {
+		t.Fatalf("Invert = %q want GATTACA", dna.Decode(got))
+	}
+}
+
+func TestInvertEmpty(t *testing.T) {
+	b, row := FromText(nil)
+	if len(b) != 1 {
+		t.Fatalf("empty text bwt len = %d want 1", len(b))
+	}
+	if got := Invert(b, row); len(got) != 0 {
+		t.Fatalf("Invert(empty) = %v want empty", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		text := make([]byte, len(raw))
+		for i, b := range raw {
+			text[i] = b & 3
+		}
+		b, row := FromText(text)
+		if len(b) != len(text)+1 {
+			return false
+		}
+		got := Invert(b, row)
+		if len(got) != len(text) {
+			return false
+		}
+		for i := range text {
+			if got[i] != text[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte(rng.Intn(2)) // binary alphabet: many ties
+		}
+		b, row := FromText(text)
+		got := Invert(b, row)
+		for i := range text {
+			if got[i] != text[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSymbolConservation(t *testing.T) {
+	// The BWT is a permutation of the text (plus the sentinel): symbol
+	// counts must match exactly.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		text := make([]byte, n)
+		var wantCounts [4]int
+		for i := range text {
+			text[i] = byte(rng.Intn(4))
+			wantCounts[text[i]]++
+		}
+		b, row := FromText(text)
+		var gotCounts [4]int
+		for i, c := range b {
+			if i == row {
+				continue
+			}
+			gotCounts[c]++
+		}
+		if gotCounts != wantCounts {
+			t.Fatalf("trial %d: counts %v want %v", trial, gotCounts, wantCounts)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package cl
+
+import "fmt"
+
+// Device catalog: performance/power models of the paper's two systems.
+//
+// Calibration note (DESIGN.md §2): absolute constants were chosen so the
+// simulated REPUTE-cpu mapping rate lands near the paper's Table I order
+// of magnitude; all comparisons in the experiments depend on ratios —
+// relative device throughput on random access (FM steps) vs data-parallel
+// arithmetic (DP cells, Myers words) — which is what these weights encode.
+//
+//   - The i7-2600 is fast at everything and has effectively unlimited
+//     per-item private memory.
+//   - The GTX 590 halves (two devices, 1.5 GB each) have enormous lane
+//     counts but each lane is slow on divergent, uncoalesced random
+//     access, so one GPU delivers roughly half the CPU's filtration rate
+//     — matching the paper's "up to ≈2× with CPU + 2 GPUs".
+//   - The HiKey970 clusters are scalar and memory-bound, but sip power:
+//     the board's marginal draw is ~4.5 W against the workstation's
+//     hundreds, which is the entire embedded-genomics argument.
+
+// Marginal power constants used by the catalog (watts above idle) and the
+// idle draws the paper's Table IV subtracts.
+const (
+	SystemOneIdleW = 160.0
+	SystemTwoIdleW = 3.5
+
+	cpuOpenCLPowerW = 195.0 // i7 saturated by vectorized OpenCL kernels
+	cpuHostPowerW   = 88.0  // i7 running plain threaded mappers
+	gpuPowerW       = 50.0  // one GTX 590 half at mapper load
+	a73PowerW       = 3.0
+	a53PowerW       = 1.5
+	hikeyHostPowerW = 4.5 // all eight ARM cores under a threaded mapper
+)
+
+// The FMStep weight is the calibration pivot: it sets where DP filtration
+// (FM-step heavy, candidate light) crosses over against heuristics
+// (FM-step light, candidate heavy). 8 cycles per ExtendLeft on a cached
+// index puts the REPUTE/CORAL crossover where Table I has it — CORAL
+// slightly ahead at n=100, δ=3, REPUTE ahead for longer reads and higher
+// error budgets.
+func cpuWeights() Weights {
+	return Weights{
+		FMStep: 8, DPCell: 4, VerifyWord: 2,
+		HashProbe: 28, LocateStep: 26, Byte: 0.05, Item: 60,
+	}
+}
+
+func gpuWeights() Weights {
+	// Per-lane costs: bit-parallel arithmetic is near-CPU, random
+	// global-memory access is ~50x worse and uncoalesced (FM backward
+	// search, locate, hash probing).
+	return Weights{
+		FMStep: 400, DPCell: 6, VerifyWord: 4,
+		HashProbe: 1200, LocateStep: 460, Byte: 0, Item: 200,
+	}
+}
+
+func armWeights(scale float64) Weights {
+	return Weights{
+		FMStep: 11 * scale, DPCell: 5 * scale, VerifyWord: 3 * scale,
+		HashProbe: 36 * scale, LocateStep: 34 * scale, Byte: 0.08, Item: 80,
+	}
+}
+
+// SystemOneCPU is the i7-2600 exposed as an OpenCL CPU device.
+func SystemOneCPU() *Device {
+	return &Device{
+		Name:         "Intel Core i7-2600 (OpenCL)",
+		Type:         CPU,
+		ComputeUnits: 8,
+		LanesPerCU:   1,
+		LaneHz:       3.4e9,
+		GlobalMem:    16 << 30,
+		MaxAlloc:     4 << 30,
+		PowerW:       cpuOpenCLPowerW,
+		Weights:      cpuWeights(),
+	}
+}
+
+// SystemOneHost is the same silicon running plain threaded mappers
+// (RazerS3, Hobbes3, ...): identical speed model, lower electrical load.
+func SystemOneHost() *Device {
+	d := SystemOneCPU()
+	d.Name = "Intel Core i7-2600 (host threads)"
+	d.PowerW = cpuHostPowerW
+	return d
+}
+
+// GTX590 returns one half of a GeForce GTX 590 board (the card exposes
+// two devices with 1.5 GB each, as in the paper's System 1).
+func GTX590(index int) *Device {
+	return &Device{
+		Name:                fmt.Sprintf("GeForce GTX 590 #%d", index),
+		Type:                GPU,
+		ComputeUnits:        16,
+		LanesPerCU:          32,
+		LaneHz:              1.21e9,
+		PrivateMemPerCU:     32 << 10,
+		GlobalMem:           1536 << 20,
+		MaxAlloc:            384 << 20, // 1/4 of device RAM per OpenCL 1.2
+		PowerW:              gpuPowerW,
+		Weights:             gpuWeights(),
+		LaunchOverheadSec:   2e-3,
+		TransferBytesPerSec: 5e9,
+	}
+}
+
+// SystemOne is the workstation platform: i7-2600 + 2× GTX 590 devices.
+func SystemOne() Platform {
+	return Platform{
+		Name:    "System 1: i7-2600 + 2x GTX 590",
+		Devices: []*Device{SystemOneCPU(), GTX590(0), GTX590(1)},
+	}
+}
+
+// HiKeyA73 is the big cluster of the HiKey970 as an OpenCL device.
+func HiKeyA73() *Device {
+	return &Device{
+		Name:         "ARM Cortex-A73 MP4",
+		Type:         Accelerator,
+		ComputeUnits: 4,
+		LanesPerCU:   1,
+		LaneHz:       2.36e9,
+		GlobalMem:    6 << 30,
+		MaxAlloc:     (6 << 30) / 4,
+		PowerW:       a73PowerW,
+		Weights:      armWeights(1.0),
+	}
+}
+
+// HiKeyA53 is the LITTLE cluster.
+func HiKeyA53() *Device {
+	return &Device{
+		Name:         "ARM Cortex-A53 MP4",
+		Type:         Accelerator,
+		ComputeUnits: 4,
+		LanesPerCU:   1,
+		LaneHz:       1.8e9,
+		GlobalMem:    6 << 30,
+		MaxAlloc:     (6 << 30) / 4,
+		PowerW:       a53PowerW,
+		Weights:      armWeights(1.25),
+	}
+}
+
+// HiKeyHost is all eight ARM cores running a plain threaded mapper.
+func HiKeyHost() *Device {
+	return &Device{
+		Name:         "HiKey970 (host threads, A73+A53)",
+		Type:         CPU,
+		ComputeUnits: 8,
+		LanesPerCU:   1,
+		LaneHz:       2.08e9, // blended big.LITTLE rate
+		GlobalMem:    6 << 30,
+		MaxAlloc:     (6 << 30) / 4,
+		PowerW:       hikeyHostPowerW,
+		Weights:      armWeights(1.1),
+	}
+}
+
+// HiKey970 is the embedded platform: both clusters as OpenCL devices.
+func HiKey970() Platform {
+	return Platform{
+		Name:    "System 2: HiKey970 (A73 MP4 + A53 MP4)",
+		Devices: []*Device{HiKeyA73(), HiKeyA53()},
+	}
+}

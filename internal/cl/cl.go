@@ -1,0 +1,332 @@
+// Package cl is a simulated OpenCL 1.2 host runtime: platforms, devices,
+// contexts, buffers, kernels and ND-range queues with the same shape as
+// the real API. It stands in for the OpenCL stacks of the paper's two
+// systems (Intel i7-2600 + 2× GTX 590, and the HiKey970 big.LITTLE SoC),
+// which this reproduction has no access to.
+//
+// Kernels are ordinary Go functions that do the real algorithmic work;
+// while running they charge abstract operation counts (FM-index steps, DP
+// cells, Myers word-updates, ...) to their work item. A per-device
+// performance model converts the counts into simulated seconds and an
+// energy model into joules, so cross-device comparisons reproduce the
+// paper's shape: the work is real, only the clock is modelled.
+//
+// The two OpenCL 1.2 restrictions the paper designs around are enforced:
+//
+//   - no dynamic allocation inside kernels — outputs go to fixed-size
+//     buffers allocated up front (the "first-n locations" policy);
+//   - a single buffer may not exceed 1/4 of device memory
+//     (CL_DEVICE_MAX_MEM_ALLOC_SIZE), which forces batching on the GPUs.
+package cl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DeviceType mirrors CL_DEVICE_TYPE_*.
+type DeviceType int
+
+// Device types.
+const (
+	CPU DeviceType = iota
+	GPU
+	Accelerator
+)
+
+func (t DeviceType) String() string {
+	switch t {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return "ACCEL"
+	}
+}
+
+// Cost counts the abstract operations a work item performed. Fields are
+// the units the mapper kernels execute; each device weighs them into
+// cycles via its Weights.
+type Cost struct {
+	FMSteps     int64 // FM-index backward-search extensions (random access)
+	DPCells     int64 // seed-selection DP cell updates
+	VerifyWords int64 // Myers bit-vector 64-bit word-column updates
+	HashProbes  int64 // q-gram index bucket probes
+	LocateSteps int64 // suffix-array locate resolutions
+	Bytes       int64 // bulk data movement (host<->device when discrete)
+	Items       int64 // per-work-item fixed overhead units
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.FMSteps += o.FMSteps
+	c.DPCells += o.DPCells
+	c.VerifyWords += o.VerifyWords
+	c.HashProbes += o.HashProbes
+	c.LocateSteps += o.LocateSteps
+	c.Bytes += o.Bytes
+	c.Items += o.Items
+}
+
+// Weights are the per-operation cycle costs of a device lane.
+type Weights struct {
+	FMStep     float64
+	DPCell     float64
+	VerifyWord float64
+	HashProbe  float64
+	LocateStep float64
+	Byte       float64
+	Item       float64
+}
+
+// Cycles converts a cost into device-lane cycles.
+func (w Weights) Cycles(c Cost) float64 {
+	return float64(c.FMSteps)*w.FMStep +
+		float64(c.DPCells)*w.DPCell +
+		float64(c.VerifyWords)*w.VerifyWord +
+		float64(c.HashProbes)*w.HashProbe +
+		float64(c.LocateSteps)*w.LocateStep +
+		float64(c.Bytes)*w.Byte +
+		float64(c.Items)*w.Item
+}
+
+// Device models one OpenCL device.
+type Device struct {
+	Name         string
+	Type         DeviceType
+	ComputeUnits int
+	// LanesPerCU is how many work items a compute unit co-executes at
+	// full occupancy (SIMT width on GPUs, 1 on scalar cores).
+	LanesPerCU int
+	// LaneHz is the effective issue rate of one lane in cycles/second.
+	LaneHz float64
+	// PrivateMemPerCU bounds the summed private memory of the work
+	// items resident on one CU; kernels that need more per item reduce
+	// occupancy — the effect behind the paper's Smin/footprint trade-off.
+	PrivateMemPerCU int64
+	GlobalMem       int64
+	// MaxAlloc is CL_DEVICE_MAX_MEM_ALLOC_SIZE; OpenCL guarantees only
+	// GlobalMem/4 and the paper leans on exactly that limit.
+	MaxAlloc int64
+	// PowerW is the marginal (above idle) power drawn while busy.
+	PowerW  float64
+	Weights Weights
+	// LaunchOverheadSec is charged once per ND-range enqueue.
+	LaunchOverheadSec float64
+	// TransferBytesPerSec models the host link for discrete devices;
+	// 0 means host-shared memory (no transfer cost).
+	TransferBytesPerSec float64
+}
+
+// Occupancy returns how many work items one CU co-executes for a kernel
+// needing privateBytes of private memory per item.
+func (d *Device) Occupancy(privateBytes int64) int {
+	lanes := d.LanesPerCU
+	if lanes < 1 {
+		lanes = 1
+	}
+	if privateBytes > 0 && d.PrivateMemPerCU > 0 {
+		fit := int(d.PrivateMemPerCU / privateBytes)
+		if fit < 1 {
+			fit = 1
+		}
+		if fit < lanes {
+			lanes = fit
+		}
+	}
+	return lanes
+}
+
+// Platform groups devices, mirroring clGetPlatformIDs.
+type Platform struct {
+	Name    string
+	Devices []*Device
+}
+
+// Context owns buffers for a set of devices.
+type Context struct {
+	mu        sync.Mutex
+	allocated map[*Device]int64
+}
+
+// NewContext returns an empty context.
+func NewContext() *Context {
+	return &Context{allocated: make(map[*Device]int64)}
+}
+
+// Buffer is a device allocation. Only its size is modelled; kernel data
+// lives in ordinary Go memory.
+type Buffer struct {
+	ctx  *Context
+	dev  *Device
+	size int64
+	free bool
+}
+
+// AllocError describes a failed buffer allocation.
+type AllocError struct {
+	Device    string
+	Requested int64
+	Limit     int64
+	Reason    string
+}
+
+func (e *AllocError) Error() string {
+	return fmt.Sprintf("cl: alloc %d B on %s: %s (limit %d B)",
+		e.Requested, e.Device, e.Reason, e.Limit)
+}
+
+// AllocBuffer reserves size bytes on dev, enforcing the MaxAlloc and
+// total-memory limits.
+func (c *Context) AllocBuffer(dev *Device, size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, &AllocError{Device: dev.Name, Requested: size, Reason: "non-positive size"}
+	}
+	if size > dev.MaxAlloc {
+		return nil, &AllocError{
+			Device: dev.Name, Requested: size, Limit: dev.MaxAlloc,
+			Reason: "exceeds CL_DEVICE_MAX_MEM_ALLOC_SIZE (1/4 of device RAM)",
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allocated[dev]+size > dev.GlobalMem {
+		return nil, &AllocError{
+			Device: dev.Name, Requested: size, Limit: dev.GlobalMem - c.allocated[dev],
+			Reason: "device memory exhausted",
+		}
+	}
+	c.allocated[dev] += size
+	return &Buffer{ctx: c, dev: dev, size: size}, nil
+}
+
+// Allocated reports the bytes currently reserved on dev.
+func (c *Context) Allocated(dev *Device) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocated[dev]
+}
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Free releases the buffer; double frees are no-ops.
+func (b *Buffer) Free() {
+	if b == nil || b.free {
+		return
+	}
+	b.free = true
+	b.ctx.mu.Lock()
+	b.ctx.allocated[b.dev] -= b.size
+	b.ctx.mu.Unlock()
+}
+
+// WorkItem is passed to a kernel body for each global index.
+type WorkItem struct {
+	Global int
+	cost   Cost
+}
+
+// Charge records operations performed by this work item.
+func (wi *WorkItem) Charge(c Cost) { wi.cost.Add(c) }
+
+// Kernel is a compiled kernel: a Go function plus the private-memory
+// declaration the occupancy model needs. Bodies must not allocate output
+// space dynamically — OpenCL 1.2 kernels cannot, so outputs go through
+// fixed slots prepared by the host.
+type Kernel struct {
+	Name string
+	// PrivateBytesPerItem declares the kernel's private working set; it
+	// throttles GPU occupancy and is validated against nothing else.
+	PrivateBytesPerItem int64
+	Body                func(wi *WorkItem)
+}
+
+// Event records one completed ND-range execution.
+type Event struct {
+	Kernel     string
+	GlobalSize int
+	Cost       Cost
+	SimSeconds float64
+}
+
+// Queue issues work to one device. Enqueued ranges execute immediately
+// (in-order queue); Finish aggregates their simulated timing.
+type Queue struct {
+	dev    *Device
+	events []Event
+}
+
+// NewQueue creates an in-order queue on dev.
+func NewQueue(dev *Device) *Queue { return &Queue{dev: dev} }
+
+// Device returns the queue's device.
+func (q *Queue) Device() *Device { return q.dev }
+
+// EnqueueNDRange runs kernel over globalSize work items and records the
+// event. A panic in the kernel body is converted into an error, matching
+// a CL_OUT_OF_RESOURCES-style launch failure rather than a host crash.
+func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (ev Event, err error) {
+	if globalSize < 0 {
+		return Event{}, fmt.Errorf("cl: kernel %s: negative global size %d", k.Name, globalSize)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cl: kernel %s aborted: %v", k.Name, r)
+		}
+	}()
+	var total Cost
+	for g := 0; g < globalSize; g++ {
+		wi := WorkItem{Global: g}
+		k.Body(&wi)
+		total.Add(wi.cost)
+	}
+	ev = Event{
+		Kernel:     k.Name,
+		GlobalSize: globalSize,
+		Cost:       total,
+		SimSeconds: q.dev.simSeconds(k, total),
+	}
+	q.events = append(q.events, ev)
+	return ev, nil
+}
+
+// simSeconds converts a kernel's aggregate cost into simulated seconds on
+// the device.
+func (d *Device) simSeconds(k *Kernel, c Cost) float64 {
+	cycles := d.Weights.Cycles(c)
+	parallel := float64(d.ComputeUnits * d.Occupancy(k.PrivateBytesPerItem))
+	if parallel < 1 {
+		parallel = 1
+	}
+	t := cycles / (parallel * d.LaneHz)
+	t += d.LaunchOverheadSec
+	if d.TransferBytesPerSec > 0 && c.Bytes > 0 {
+		t += float64(c.Bytes) / d.TransferBytesPerSec
+	}
+	return t
+}
+
+// Events returns the recorded events.
+func (q *Queue) Events() []Event { return q.events }
+
+// Finish returns the queue's total simulated busy time and the summed
+// cost, mirroring clFinish plus profiling-event collection.
+func (q *Queue) Finish() (busySeconds float64, total Cost) {
+	for _, ev := range q.events {
+		busySeconds += ev.SimSeconds
+		total.Add(ev.Cost)
+	}
+	return busySeconds, total
+}
+
+// EnergyJ returns the marginal energy the queue's device spent on its
+// recorded events: busy time × device active power.
+func (q *Queue) EnergyJ() float64 {
+	busy, _ := q.Finish()
+	return busy * q.dev.PowerW
+}
+
+// Reset clears recorded events so a queue can be reused between runs.
+func (q *Queue) Reset() { q.events = q.events[:0] }

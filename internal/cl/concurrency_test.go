@@ -1,0 +1,58 @@
+package cl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentAllocationsAccountCorrectly(t *testing.T) {
+	// The context is shared by host threads managing different devices;
+	// allocation accounting must be race-free and exact.
+	ctx := NewContext()
+	dev := testDevice()
+	dev.GlobalMem = 1 << 30
+	dev.MaxAlloc = 1 << 28
+	const (
+		workers = 8
+		rounds  = 200
+		size    = 1 << 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b, err := ctx.AllocBuffer(dev, size)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctx.Allocated(dev); got != 0 {
+		t.Errorf("allocated after all frees = %d want 0", got)
+	}
+}
+
+func TestQueuesOnSeparateDevicesIndependent(t *testing.T) {
+	d1 := testDevice()
+	d2 := testDevice()
+	d2.ComputeUnits = 1
+	q1, q2 := NewQueue(d1), NewQueue(d2)
+	k := &Kernel{Name: "w", Body: func(wi *WorkItem) { wi.Charge(Cost{DPCells: 100}) }}
+	if _, err := q1.EnqueueNDRange(k, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.EnqueueNDRange(k, 50); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := q1.Finish()
+	b2, _ := q2.Finish()
+	if b2 <= b1 {
+		t.Errorf("1-CU device (%v s) not slower than 4-CU device (%v s)", b2, b1)
+	}
+}

@@ -1,0 +1,59 @@
+package cl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAddCommutes(t *testing.T) {
+	f := func(a, b Cost) bool {
+		x := a
+		x.Add(b)
+		y := b
+		y.Add(a)
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsCyclesLinear(t *testing.T) {
+	w := Weights{FMStep: 3, DPCell: 5, VerifyWord: 7, HashProbe: 11, LocateStep: 13, Byte: 0.5, Item: 17}
+	f := func(a, b Cost) bool {
+		// Clamp to avoid float cancellation on absurd magnitudes.
+		clamp := func(c Cost) Cost {
+			lim := func(v int64) int64 {
+				if v < 0 {
+					v = -v
+				}
+				return v % (1 << 30)
+			}
+			return Cost{
+				FMSteps: lim(c.FMSteps), DPCells: lim(c.DPCells),
+				VerifyWords: lim(c.VerifyWords), HashProbes: lim(c.HashProbes),
+				LocateSteps: lim(c.LocateSteps), Bytes: lim(c.Bytes), Items: lim(c.Items),
+			}
+		}
+		a, b = clamp(a), clamp(b)
+		sum := a
+		sum.Add(b)
+		lhs := w.Cycles(sum)
+		rhs := w.Cycles(a) + w.Cycles(b)
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*(1+lhs+rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroCostZeroCycles(t *testing.T) {
+	w := Weights{FMStep: 3, DPCell: 5}
+	if got := w.Cycles(Cost{}); got != 0 {
+		t.Errorf("Cycles(zero) = %v", got)
+	}
+}

@@ -1,0 +1,352 @@
+// Package core implements REPUTE, the paper's contribution: an OpenCL
+// read mapper for heterogeneous systems. The host program builds the
+// FM-index preprocessing, splits the read set across any number of
+// simulated OpenCL devices in task-parallel fashion, allocates the static
+// kernel buffers that OpenCL 1.2 demands (batching when a buffer would
+// exceed the 1/4-of-RAM allocation limit), and launches a combined
+// filtration + verification kernel per batch.
+//
+// The filtration stage is the memory-optimised dynamic-programming seed
+// selection of §II-B (seed.REPUTE); the verification stage is the Myers
+// bit-vector (§II-A). A different Selector — e.g. seed.CORAL — turns the
+// same pipeline into the CORAL comparison mapper, mirroring how the two
+// tools share their kernel flow in the paper.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/cl"
+	"repro/internal/dna"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+	"repro/internal/seed"
+)
+
+// locationBytes is the per-reported-location size of the fixed output
+// slots (pos int32 + strand/dist packed), matching the paper's first-n
+// output policy.
+const locationBytes = 8
+
+// Index aliases the FM-index type so wrappers (e.g. the CORAL package)
+// need not import internal/fmindex directly.
+type Index = fmindex.Index
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Name labels the mapper in results ("REPUTE-cpu", "REPUTE-all", ...).
+	Name string
+	// Selector is the filtration strategy; nil means seed.REPUTE{}.
+	Selector seed.Selector
+	// Split gives each device's share of the reads; nil or all-zero
+	// means everything on the first device. Shares are normalised.
+	Split []float64
+	// SASampleRate is passed to the FM-index build (0 = full SA).
+	SASampleRate int
+}
+
+// Pipeline is a REPUTE-style mapper bound to a reference and devices.
+type Pipeline struct {
+	name     string
+	ix       *fmindex.Index
+	devices  []*cl.Device
+	split    []float64
+	selector seed.Selector
+}
+
+// New builds the index from ref and returns the pipeline.
+func New(ref []byte, devices []*cl.Device, cfg Config) (*Pipeline, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+	ix := fmindex.Build(ref, fmindex.Options{SASampleRate: cfg.SASampleRate})
+	return NewFromIndex(ix, devices, cfg)
+}
+
+// NewFromIndex wraps an existing index (e.g. loaded from disk).
+func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipeline, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: no devices")
+	}
+	sel := cfg.Selector
+	if sel == nil {
+		sel = seed.REPUTE{}
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "REPUTE"
+	}
+	split := cfg.Split
+	if split != nil && len(split) != len(devices) {
+		return nil, fmt.Errorf("core: split has %d entries for %d devices",
+			len(split), len(devices))
+	}
+	return &Pipeline{name: name, ix: ix, devices: devices, split: split, selector: sel}, nil
+}
+
+// Name implements mapper.Mapper.
+func (p *Pipeline) Name() string { return p.name }
+
+// Index exposes the pipeline's FM-index (examples inspect it).
+func (p *Pipeline) Index() *fmindex.Index { return p.ix }
+
+// CigarFor recovers the CIGAR string of a reported mapping by re-aligning
+// the read against the mapped reference window — the SAM-output feature
+// the paper's §IV defers to future versions. Cost is paid only for
+// mappings actually written out.
+func (p *Pipeline) CigarFor(read []byte, m mapper.Mapping, maxErrors int) (align.Cigar, error) {
+	pattern := read
+	if m.Strand == mapper.Reverse {
+		pattern = dna.ReverseComplement(read)
+	}
+	text := p.ix.Text()
+	lo := int(m.Pos)
+	hi := lo + len(pattern) + maxErrors
+	if lo < 0 || lo >= text.Len() {
+		return nil, fmt.Errorf("core: mapping position %d out of range", m.Pos)
+	}
+	if hi > text.Len() {
+		hi = text.Len()
+	}
+	window := text.Slice(lo, hi)
+	match, cigar, ok := align.AlignCigar(pattern, window, int(m.Dist))
+	if !ok {
+		return nil, fmt.Errorf("core: mapping at %d does not realign within %d edits", m.Pos, m.Dist)
+	}
+	if match.Start != 0 {
+		// The window starts exactly at the mapping position, so the best
+		// alignment should anchor there; tolerate small shifts by
+		// prepending a deletion-free offset via re-slice.
+		window = window[match.Start:]
+		_, cigar, ok = align.AlignCigar(pattern, window, int(m.Dist))
+		if !ok {
+			return nil, fmt.Errorf("core: realignment drifted at %d", m.Pos)
+		}
+	}
+	return cigar, nil
+}
+
+// DefaultMinSeedLen picks Smin for a read length and error count the way
+// the paper's experiments do ("the best performances of REPUTE taking
+// into consideration the k-mer lengths"): it targets an exploration
+// window of ~44 prefixes — enough freedom for the DP to matter without
+// blowing up filtration time — clamped to [8, 16] and to feasibility.
+func DefaultMinSeedLen(readLen, errors int) int {
+	parts := errors + 1
+	smin := (readLen - 44) / parts
+	if smin > 16 {
+		smin = 16
+	}
+	if smin < 8 {
+		smin = 8
+	}
+	if parts*smin > readLen {
+		smin = readLen / parts
+	}
+	if smin < 1 {
+		smin = 1
+	}
+	return smin
+}
+
+// shares normalises the configured split into per-device read counts.
+func (p *Pipeline) shares(total int) []int {
+	counts := make([]int, len(p.devices))
+	if p.split == nil {
+		counts[0] = total
+		return counts
+	}
+	sum := 0.0
+	for _, s := range p.split {
+		if s > 0 {
+			sum += s
+		}
+	}
+	if sum == 0 {
+		counts[0] = total
+		return counts
+	}
+	assigned := 0
+	for i, s := range p.split {
+		if s < 0 {
+			s = 0
+		}
+		counts[i] = int(float64(total) * s / sum)
+		assigned += counts[i]
+	}
+	counts[0] += total - assigned // remainder to the first device
+	return counts
+}
+
+// Map implements mapper.Mapper.
+func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error) {
+	opt = opt.WithDefaults()
+	if err := mapper.ValidateReads(reads, opt); err != nil {
+		return nil, err
+	}
+	res := &mapper.Result{
+		Mappings:      make([][]mapper.Mapping, len(reads)),
+		DeviceSeconds: map[string]float64{},
+	}
+	counts := p.shares(len(reads))
+	ctx := cl.NewContext()
+	offset := 0
+	for di, dev := range p.devices {
+		n := counts[di]
+		if n == 0 {
+			continue
+		}
+		chunk := reads[offset : offset+n]
+		busy, energy, cost, err := p.mapOnDevice(ctx, dev, chunk, res.Mappings[offset:offset+n], opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: device %s: %w", dev.Name, err)
+		}
+		res.DeviceSeconds[dev.Name] += busy
+		if busy > res.SimSeconds {
+			res.SimSeconds = busy // task-parallel makespan
+		}
+		res.EnergyJ += energy
+		res.Cost.Add(cost)
+		offset += n
+	}
+	return res, nil
+}
+
+// mapOnDevice runs one device's share, batching reads so the static
+// output buffer respects CL_DEVICE_MAX_MEM_ALLOC_SIZE.
+func (p *Pipeline) mapOnDevice(ctx *cl.Context, dev *cl.Device, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options) (busy, energy float64, cost cl.Cost, err error) {
+	ixBuf, err := ctx.AllocBuffer(dev, p.ix.SizeBytes())
+	if err != nil {
+		return 0, 0, cost, fmt.Errorf("index does not fit: %w", err)
+	}
+	defer ixBuf.Free()
+
+	readLen := len(reads[0])
+	outPerRead := int64(opt.MaxLocations) * locationBytes
+	inPerRead := int64((readLen + 3) / 4)
+	batch := len(reads)
+	if limit := dev.MaxAlloc / outPerRead; int64(batch) > limit {
+		batch = int(limit)
+	}
+	if limit := dev.MaxAlloc / inPerRead; int64(batch) > limit {
+		batch = int(limit)
+	}
+	if batch < 1 {
+		return 0, 0, cost, fmt.Errorf("a single read's buffers exceed the allocation limit")
+	}
+
+	queue := cl.NewQueue(dev)
+	for start := 0; start < len(reads); start += batch {
+		end := start + batch
+		if end > len(reads) {
+			end = len(reads)
+		}
+		if err := p.runBatch(ctx, queue, reads[start:end], out[start:end], opt); err != nil {
+			return 0, 0, cost, err
+		}
+	}
+	busy, cost = queue.Finish()
+	return busy, queue.EnergyJ(), cost, nil
+}
+
+// runBatch allocates the batch buffers and enqueues the mapping kernel.
+func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options) error {
+	dev := queue.Device()
+	readLen := len(reads[0])
+	inBuf, err := ctx.AllocBuffer(dev, int64(len(reads))*int64((readLen+3)/4))
+	if err != nil {
+		return fmt.Errorf("read buffer: %w", err)
+	}
+	defer inBuf.Free()
+	outBuf, err := ctx.AllocBuffer(dev, int64(len(reads))*int64(opt.MaxLocations)*locationBytes)
+	if err != nil {
+		return fmt.Errorf("output buffer: %w", err)
+	}
+	defer outBuf.Free()
+
+	kern := p.kernel(reads, out, opt, inBuf.Size()+outBuf.Size())
+	if _, err := queue.EnqueueNDRange(kern, len(reads)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// kernel builds the combined filtration+verification kernel over a batch.
+// Each work item maps one read on both strands.
+func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, transferBytes int64) *cl.Kernel {
+	maxErr := opt.MaxErrors
+	params := seed.Params{
+		Errors:      maxErr,
+		MinSeedLen:  opt.MinSeedLen,
+		MaxSeedFreq: opt.MaxSeedFreq,
+	}
+	if params.MinSeedLen <= 0 {
+		params.MinSeedLen = DefaultMinSeedLen(len(reads[0]), maxErr)
+	}
+	// Cap on located candidates per strand: the verification slots are
+	// static, so a read cannot fan out indefinitely (first-n policy).
+	maxCand := 2 * opt.MaxLocations
+	locSteps := p.ix.LocateSteps()
+	perItemBytes := transferBytes / int64(len(reads))
+
+	vs := &mapper.VerifyState{}
+	revBuf := make([]byte, len(reads[0]))
+	var cands []mapper.Candidate
+	var locs []int32
+
+	return &cl.Kernel{
+		Name:                p.name + "-map",
+		PrivateBytesPerItem: int64(seed.DPPeakMem(len(reads[0]), maxErr, params.MinSeedLen, p.selector)),
+		Body: func(wi *cl.WorkItem) {
+			read := reads[wi.Global]
+			cands = cands[:0]
+			var itemCost cl.Cost
+			for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
+				pattern := read
+				if strand == mapper.Reverse {
+					revBuf = revBuf[:len(read)]
+					dna.ReverseComplementInto(revBuf, read)
+					pattern = revBuf
+				}
+				sel, err := p.selector.Select(p.ix, pattern, params)
+				if err != nil {
+					// Static kernels cannot recover; surface as a launch
+					// failure like a real kernel fault would.
+					panic(err)
+				}
+				itemCost.FMSteps += int64(sel.FMSteps)
+				itemCost.DPCells += int64(sel.DPCells)
+				remaining := maxCand
+				for _, s := range sel.Seeds {
+					if remaining <= 0 {
+						break
+					}
+					c := s.Count()
+					if c == 0 {
+						continue
+					}
+					if c > remaining {
+						c = remaining
+					}
+					locs = p.ix.Locate(s.Lo, s.Lo+c, 0, locs[:0])
+					itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
+					for _, pos := range locs {
+						cands = append(cands, mapper.Candidate{
+							Pos:    pos - int32(s.Start),
+							Strand: strand,
+						})
+					}
+					remaining -= c
+				}
+			}
+			dd := mapper.DedupCandidates(cands, int32(maxErr))
+			ms, vc := vs.Verify(p.ix.Text(), read, dd, maxErr, opt.MaxLocations)
+			itemCost.VerifyWords += vc.VerifyWords
+			itemCost.Items = 1
+			itemCost.Bytes = perItemBytes
+			wi.Charge(itemCost)
+			out[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+func TestMapPairsFindsConcordantOrigins(t *testing.T) {
+	ref := simulate.Reference(simulate.Chr21Like(80_000, 31))
+	set, err := simulate.PairedReads(ref, 100, simulate.ERR012100, 400, 35, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.PairOptions{
+		Options:   mapper.Options{MaxErrors: 5, MaxLocations: 100},
+		MinInsert: 200, MaxInsert: 700,
+	}
+	res, err := p.MapPairs(set.Reads1, set.Reads2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimSeconds <= 0 || res.EnergyJ <= 0 || res.Cost.Items == 0 {
+		t.Errorf("accounting empty: %+v", res.Cost)
+	}
+	found, eligible := 0, 0
+	for i, o := range set.Origins {
+		if int(o.Edits1) > opt.MaxErrors || int(o.Edits2) > opt.MaxErrors {
+			continue
+		}
+		eligible++
+		ok := false
+		for _, pr := range res.Pairs[i] {
+			d1 := abs32(pr.First.Pos - o.Pos1)
+			d2 := abs32(pr.Second.Pos - o.Pos2)
+			if pr.First.Strand == o.Strand1 && pr.Second.Strand == o.Strand2 &&
+				d1 <= int32(opt.MaxErrors) && d2 <= int32(opt.MaxErrors) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			found++
+		}
+	}
+	if eligible < 80 {
+		t.Fatalf("only %d eligible fragments", eligible)
+	}
+	if found < eligible*98/100 {
+		t.Fatalf("concordant recovery %d/%d below 98%%", found, eligible)
+	}
+	// Every reported pair respects the insert band.
+	for i, prs := range res.Pairs {
+		for _, pr := range prs {
+			if pr.Insert < opt.MinInsert || pr.Insert > opt.MaxInsert {
+				t.Fatalf("fragment %d: insert %d outside band", i, pr.Insert)
+			}
+		}
+	}
+}
+
+func TestMapPairsRescue(t *testing.T) {
+	// A mate inside a high-copy repeat multi-maps; pairing with its
+	// unique partner must pin a single concordant location.
+	ref := simulate.Reference(simulate.Chr21Like(80_000, 33))
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := simulate.PairedReads(ref, 200, simulate.ERR012100, 400, 35, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.PairOptions{
+		Options:   mapper.Options{MaxErrors: 4, MaxLocations: 200},
+		MinInsert: 200, MaxInsert: 700,
+	}
+	res, err := p.MapPairs(set.Reads1, set.Reads2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescued := 0
+	for i := range set.Origins {
+		multi := len(res.Single1[i]) > 3 || len(res.Single2[i]) > 3
+		if multi && len(res.Pairs[i]) >= 1 && len(res.Pairs[i]) < 3 {
+			rescued++
+		}
+	}
+	if rescued == 0 {
+		t.Error("no ambiguous fragment was rescued by pairing — repeat structure missing?")
+	}
+}
+
+func TestMapPairsValidation(t *testing.T) {
+	ref := simulate.Reference(simulate.Chr21Like(30_000, 35))
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MapPairs([][]byte{{0, 1}}, nil, mapper.PairOptions{}); err == nil {
+		t.Error("mismatched mate counts accepted")
+	}
+}

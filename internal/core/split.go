@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cl"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+)
+
+// The paper's §IV: "The distribution of workload among various devices
+// should be performed judiciously to obtain optimum performance" — Fig. 3
+// sweeps the split by hand. AutoSplit automates the tuning with a pilot
+// run: it maps a small sample on every device separately, measures each
+// device's simulated mapping rate for this exact workload shape (read
+// length, δ, Smin — occupancy and memory effects included), and returns
+// shares proportional to the rates, so task-parallel kernels finish
+// together.
+
+// AutoSplit returns per-device workload shares for the given pipeline
+// configuration, calibrated by mapping sample reads on each device.
+// sample should be a few hundred representative reads; larger samples
+// calibrate better but cost more.
+func AutoSplit(ix *fmindex.Index, devices []*cl.Device, sample [][]byte, cfg Config, opt mapper.Options) ([]float64, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: AutoSplit needs devices")
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("core: AutoSplit needs sample reads")
+	}
+	rates := make([]float64, len(devices))
+	total := 0.0
+	for i, dev := range devices {
+		pilotCfg := cfg
+		pilotCfg.Split = nil // everything on this one device
+		p, err := NewFromIndex(ix, []*cl.Device{dev}, pilotCfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Map(sample, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: pilot on %s: %w", dev.Name, err)
+		}
+		if res.SimSeconds <= 0 {
+			return nil, fmt.Errorf("core: pilot on %s produced no timing", dev.Name)
+		}
+		rates[i] = float64(len(sample)) / res.SimSeconds
+		total += rates[i]
+	}
+	shares := make([]float64, len(devices))
+	for i := range shares {
+		shares[i] = rates[i] / total
+	}
+	return shares, nil
+}

@@ -1,0 +1,157 @@
+// Package eval implements the paper's two accuracy measurements against a
+// gold-standard mapper (RazerS3 in both the paper and this reproduction):
+//
+//   - §III-A (all-locations): every mapping location the gold standard
+//     reports for a read is searched in the candidate mapper's output;
+//     accuracy is the fraction of gold locations found. All-mappers score
+//     ~100 here, best-mappers a few percent (they report few locations).
+//
+//   - §III-B (any-best, after the Rabema benchmark): a read counts as
+//     correct if the candidate reports at least one location+strand that
+//     matches any gold location for that read; accuracy is the fraction
+//     of gold-mapped reads covered. Best-mappers recover to ~90-100 here.
+//
+// Locations match when strands are equal and positions differ by at most
+// a tolerance, normally δ — mappers legitimately disagree by the indel
+// offset about where an alignment "starts".
+package eval
+
+import "repro/internal/mapper"
+
+// matches reports whether ms (sorted by Pos, as mapper.Finalize emits)
+// contains a location within ±tol of pos on the given strand.
+func matches(ms []mapper.Mapping, pos int32, strand byte, tol int32) bool {
+	// Binary search for the first mapping with Pos >= pos-tol.
+	lo, hi := 0, len(ms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ms[mid].Pos < pos-tol {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(ms) && ms[lo].Pos <= pos+tol; lo++ {
+		if ms[lo].Strand == strand {
+			return true
+		}
+	}
+	return false
+}
+
+// AccuracyAll computes the §III-A metric: the percentage of gold-standard
+// locations that appear in test output. gold and test are per-read
+// mapping lists of equal length.
+func AccuracyAll(gold, test [][]mapper.Mapping, tol int32) float64 {
+	if len(gold) != len(test) {
+		panic("eval: gold/test length mismatch")
+	}
+	total, found := 0, 0
+	for i := range gold {
+		for _, g := range gold[i] {
+			total++
+			if matches(test[i], g.Pos, g.Strand, tol) {
+				found++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(found) / float64(total)
+}
+
+// AccuracyAnyBest computes the §III-B metric: the percentage of
+// gold-mapped reads for which test reports at least one matching
+// location and strand.
+func AccuracyAnyBest(gold, test [][]mapper.Mapping, tol int32) float64 {
+	if len(gold) != len(test) {
+		panic("eval: gold/test length mismatch")
+	}
+	mapped, hit := 0, 0
+	for i := range gold {
+		if len(gold[i]) == 0 {
+			continue
+		}
+		mapped++
+		for _, g := range gold[i] {
+			if matches(test[i], g.Pos, g.Strand, tol) {
+				hit++
+				break
+			}
+		}
+	}
+	if mapped == 0 {
+		return 0
+	}
+	return 100 * float64(hit) / float64(mapped)
+}
+
+// AccuracyAllBest computes the remaining Rabema category: a read counts
+// as correct when *every* gold location in the best (lowest-distance)
+// stratum is present in the test output. Stricter than any-best, looser
+// than all-locations.
+func AccuracyAllBest(gold, test [][]mapper.Mapping, tol int32) float64 {
+	if len(gold) != len(test) {
+		panic("eval: gold/test length mismatch")
+	}
+	mapped, ok := 0, 0
+	for i := range gold {
+		if len(gold[i]) == 0 {
+			continue
+		}
+		mapped++
+		best := gold[i][0].Dist
+		for _, g := range gold[i][1:] {
+			if g.Dist < best {
+				best = g.Dist
+			}
+		}
+		all := true
+		for _, g := range gold[i] {
+			if g.Dist != best {
+				continue
+			}
+			if !matches(test[i], g.Pos, g.Strand, tol) {
+				all = false
+				break
+			}
+		}
+		if all {
+			ok++
+		}
+	}
+	if mapped == 0 {
+		return 0
+	}
+	return 100 * float64(ok) / float64(mapped)
+}
+
+// Sensitivity measures recovery of simulated ground truth: the percentage
+// of reads with origin edit load <= maxErrors whose origin location and
+// strand appear in the mapper output. It complements the gold-standard
+// metrics in tests.
+func Sensitivity(test [][]mapper.Mapping, origins []Origin, maxErrors int, tol int32) float64 {
+	eligible, found := 0, 0
+	for i, o := range origins {
+		if int(o.Edits) > maxErrors {
+			continue
+		}
+		eligible++
+		if matches(test[i], o.Pos, o.Strand, tol) {
+			found++
+		}
+	}
+	if eligible == 0 {
+		return 0
+	}
+	return 100 * float64(found) / float64(eligible)
+}
+
+// Origin mirrors simulate.Origin without importing it (keeps eval free of
+// the workload generator; callers convert).
+type Origin struct {
+	Pos    int32
+	Strand byte
+	Edits  uint8
+}

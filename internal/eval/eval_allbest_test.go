@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/mapper"
+)
+
+func md(pos int32, strand byte, dist uint8) mapper.Mapping {
+	return mapper.Mapping{Pos: pos, Strand: strand, Dist: dist}
+}
+
+func TestAccuracyAllBest(t *testing.T) {
+	gold := [][]mapper.Mapping{
+		// read 0: best stratum is dist 1 at {10, 20}; dist 3 at 30.
+		{md(10, '+', 1), md(20, '+', 1), md(30, '+', 3)},
+		// read 1: single best location.
+		{md(100, '-', 0)},
+		// read 2: unmapped in gold — excluded from the denominator.
+		{},
+	}
+	full := [][]mapper.Mapping{
+		{md(10, '+', 1), md(20, '+', 1)}, // both best found, dist-3 miss is fine
+		{md(100, '-', 0)},
+		{},
+	}
+	if got := AccuracyAllBest(gold, full, 0); got != 100 {
+		t.Errorf("full = %v want 100", got)
+	}
+	partial := [][]mapper.Mapping{
+		{md(10, '+', 1)}, // one of two best: read fails all-best
+		{md(100, '-', 0)},
+		{},
+	}
+	if got := AccuracyAllBest(gold, partial, 0); got != 50 {
+		t.Errorf("partial = %v want 50", got)
+	}
+	// Under any-best the same partial output scores 100.
+	if got := AccuracyAnyBest(gold, partial, 0); got != 100 {
+		t.Errorf("any-best(partial) = %v want 100", got)
+	}
+}
+
+func TestAccuracyAllBestNotAboveAnyBest(t *testing.T) {
+	// A read passing all-best necessarily passes any-best, so the
+	// per-read metrics are ordered (all-locations is per-location and
+	// not comparable).
+	gold := [][]mapper.Mapping{
+		{md(10, '+', 1), md(20, '+', 1), md(30, '+', 2)},
+		{md(50, '-', 0), md(60, '-', 0)},
+		{md(70, '+', 2)},
+	}
+	test := [][]mapper.Mapping{
+		{md(10, '+', 1)},
+		{md(50, '-', 0), md(60, '-', 0)},
+		{},
+	}
+	allBest := AccuracyAllBest(gold, test, 0)
+	anyBest := AccuracyAnyBest(gold, test, 0)
+	if allBest > anyBest {
+		t.Errorf("all-best %v above any-best %v", allBest, anyBest)
+	}
+}
+
+func TestAccuracyAllBestEmpty(t *testing.T) {
+	if got := AccuracyAllBest([][]mapper.Mapping{{}}, [][]mapper.Mapping{{}}, 0); got != 0 {
+		t.Errorf("no gold-mapped reads = %v want 0", got)
+	}
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/mapper"
+)
+
+func m(pos int32, strand byte) mapper.Mapping {
+	return mapper.Mapping{Pos: pos, Strand: strand}
+}
+
+func TestAccuracyAllExact(t *testing.T) {
+	gold := [][]mapper.Mapping{
+		{m(10, '+'), m(50, '-')},
+		{m(100, '+')},
+	}
+	test := [][]mapper.Mapping{
+		{m(10, '+'), m(50, '-')},
+		{m(100, '+')},
+	}
+	if got := AccuracyAll(gold, test, 0); got != 100 {
+		t.Errorf("exact match accuracy = %v want 100", got)
+	}
+}
+
+func TestAccuracyAllPartial(t *testing.T) {
+	gold := [][]mapper.Mapping{
+		{m(10, '+'), m(50, '-'), m(90, '+'), m(120, '+')},
+	}
+	test := [][]mapper.Mapping{
+		{m(10, '+'), m(90, '+')},
+	}
+	if got := AccuracyAll(gold, test, 0); got != 50 {
+		t.Errorf("accuracy = %v want 50", got)
+	}
+}
+
+func TestAccuracyTolerance(t *testing.T) {
+	gold := [][]mapper.Mapping{{m(100, '+')}}
+	near := [][]mapper.Mapping{{m(103, '+')}}
+	if got := AccuracyAll(gold, near, 3); got != 100 {
+		t.Errorf("within-tol accuracy = %v want 100", got)
+	}
+	if got := AccuracyAll(gold, near, 2); got != 0 {
+		t.Errorf("out-of-tol accuracy = %v want 0", got)
+	}
+	// Same position, wrong strand never matches.
+	wrong := [][]mapper.Mapping{{m(100, '-')}}
+	if got := AccuracyAll(gold, wrong, 5); got != 0 {
+		t.Errorf("wrong-strand accuracy = %v want 0", got)
+	}
+}
+
+func TestAccuracyAnyBest(t *testing.T) {
+	gold := [][]mapper.Mapping{
+		{m(10, '+'), m(50, '-'), m(90, '+')}, // read 0: 3 gold locations
+		{m(200, '+')},                        // read 1
+		{},                                   // read 2: unmapped in gold, ignored
+	}
+	test := [][]mapper.Mapping{
+		{m(50, '-')}, // one of three: read counts as hit under any-best
+		{},           // miss
+		{m(5, '+')},  // irrelevant
+	}
+	if got := AccuracyAnyBest(gold, test, 0); got != 50 {
+		t.Errorf("any-best = %v want 50", got)
+	}
+	if got := AccuracyAll(gold, test, 0); got != 25 {
+		t.Errorf("all-locations = %v want 25", got)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := AccuracyAll(nil, nil, 0); got != 0 {
+		t.Errorf("empty = %v want 0", got)
+	}
+	gold := [][]mapper.Mapping{{}}
+	test := [][]mapper.Mapping{{}}
+	if got := AccuracyAnyBest(gold, test, 0); got != 0 {
+		t.Errorf("no gold-mapped reads = %v want 0", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	AccuracyAll([][]mapper.Mapping{{}}, nil, 0)
+}
+
+func TestSensitivity(t *testing.T) {
+	origins := []Origin{
+		{Pos: 10, Strand: '+', Edits: 2},
+		{Pos: 20, Strand: '-', Edits: 3},
+		{Pos: 30, Strand: '+', Edits: 9}, // over budget: excluded
+	}
+	test := [][]mapper.Mapping{
+		{m(11, '+')},
+		{},
+		{},
+	}
+	if got := Sensitivity(test, origins, 5, 2); got != 50 {
+		t.Errorf("sensitivity = %v want 50", got)
+	}
+	if got := Sensitivity(test, origins[2:], 5, 2); got != 0 {
+		t.Errorf("no eligible = %v want 0", got)
+	}
+}
+
+func TestMatchesBinarySearchBoundaries(t *testing.T) {
+	ms := []mapper.Mapping{m(10, '+'), m(20, '-'), m(20, '+'), m(30, '+')}
+	// mapper.Finalize sorts by Pos then Strand; emulate that ordering.
+	cases := []struct {
+		pos    int32
+		strand byte
+		tol    int32
+		want   bool
+	}{
+		{10, '+', 0, true},
+		{9, '+', 0, false},
+		{9, '+', 1, true},
+		{20, '-', 0, true},
+		{20, '+', 0, true},
+		{31, '+', 1, true},
+		{32, '+', 1, false},
+	}
+	for _, tc := range cases {
+		if got := matches(ms, tc.pos, tc.strand, tc.tol); got != tc.want {
+			t.Errorf("matches(pos=%d strand=%c tol=%d) = %v want %v",
+				tc.pos, tc.strand, tc.tol, got, tc.want)
+		}
+	}
+}

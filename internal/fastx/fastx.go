@@ -1,0 +1,168 @@
+// Package fastx reads and writes FASTA and FASTQ files, the interchange
+// formats for references and read sets. Sequences are kept as ASCII in
+// records; CodesOf converts to base codes with the usual mapper policy of
+// replacing ambiguous bases (N etc.) with deterministic pseudo-random
+// bases, as real read mappers do when building indexes.
+package fastx
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/dna"
+)
+
+// Record is one FASTA/FASTQ entry. Qual is nil for FASTA records.
+type Record struct {
+	Name string
+	Seq  []byte // ASCII bases
+	Qual []byte // ASCII Phred+33, nil for FASTA
+}
+
+// ReadFasta parses all records from r.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var recs []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			recs = append(recs, Record{Name: string(bytes.TrimSpace(b[1:]))})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fastx: line %d: sequence before first header", line)
+		}
+		cur.Seq = append(cur.Seq, b...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("fastx: no FASTA records found")
+	}
+	return recs, nil
+}
+
+// WriteFasta writes records wrapping sequence lines at width columns
+// (width <= 0 means no wrapping).
+func WriteFasta(w io.Writer, recs []Record, width int) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		seq := rec.Seq
+		if width <= 0 {
+			width = len(seq)
+		}
+		for len(seq) > 0 {
+			n := width
+			if n > len(seq) {
+				n = len(seq)
+			}
+			bw.Write(seq[:n])
+			bw.WriteByte('\n')
+			seq = seq[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses all records from r. Each record must be the standard
+// four lines: @name, sequence, +, quality.
+func ReadFastq(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var recs []Record
+	line := 0
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			line++
+			b := bytes.TrimSpace(sc.Bytes())
+			if len(b) > 0 {
+				out := make([]byte, len(b))
+				copy(out, b)
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if hdr[0] != '@' {
+			return nil, fmt.Errorf("fastx: line %d: expected @header, got %q", line, hdr)
+		}
+		seq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: line %d: truncated record (missing sequence)", line)
+		}
+		plus, ok := next()
+		if !ok || plus[0] != '+' {
+			return nil, fmt.Errorf("fastx: line %d: expected + separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastx: line %d: truncated record (missing quality)", line)
+		}
+		if len(qual) != len(seq) {
+			return nil, fmt.Errorf("fastx: line %d: quality length %d != sequence length %d",
+				line, len(qual), len(seq))
+		}
+		recs = append(recs, Record{Name: string(hdr[1:]), Seq: seq, Qual: qual})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("fastx: no FASTQ records found")
+	}
+	return recs, nil
+}
+
+// WriteFastq writes records in four-line FASTQ form. Records without
+// qualities get a constant high quality string.
+func WriteFastq(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if qual == nil {
+			qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CodesOf converts a record's ASCII sequence to base codes. Ambiguous
+// characters are replaced with pseudo-random bases drawn from rng, the
+// standard index-building policy; rng may be nil to reject them instead.
+func CodesOf(rec Record, rng *rand.Rand) ([]byte, error) {
+	out := make([]byte, len(rec.Seq))
+	for i, b := range rec.Seq {
+		c, ok := dna.CodeOf(b)
+		if !ok {
+			if rng == nil {
+				return nil, fmt.Errorf("fastx: record %s: invalid base %q at %d", rec.Name, b, i)
+			}
+			c = byte(rng.Intn(4))
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package fastx
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadFastaBasic(t *testing.T) {
+	in := ">chr1 test\nACGT\nACGT\n>chr2\nTTTT\n"
+	recs, err := ReadFasta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records want 2", len(recs))
+	}
+	if recs[0].Name != "chr1 test" || string(recs[0].Seq) != "ACGTACGT" {
+		t.Errorf("rec0 = %q/%q", recs[0].Name, recs[0].Seq)
+	}
+	if recs[1].Name != "chr2" || string(recs[1].Seq) != "TTTT" {
+		t.Errorf("rec1 = %q/%q", recs[1].Name, recs[1].Seq)
+	}
+}
+
+func TestReadFastaErrors(t *testing.T) {
+	if _, err := ReadFasta(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+	if _, err := ReadFasta(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestFastaRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "a", Seq: []byte("ACGTACGTACGTACGT")},
+		{Name: "b", Seq: []byte("TT")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, recs, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name || !bytes.Equal(got[i].Seq, recs[i].Seq) {
+			t.Errorf("record %d: %q/%q want %q/%q",
+				i, got[i].Name, got[i].Seq, recs[i].Name, recs[i].Seq)
+		}
+	}
+}
+
+func TestReadFastqBasic(t *testing.T) {
+	in := "@r1\nACGT\n+\nIIII\n@r2\nGG\n+anything\n!!\n"
+	recs, err := ReadFastq(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records want 2", len(recs))
+	}
+	if recs[0].Name != "r1" || string(recs[0].Seq) != "ACGT" || string(recs[0].Qual) != "IIII" {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+}
+
+func TestReadFastqErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"@r1\nACGT\n+\nII\n",      // qual length mismatch
+		"@r1\nACGT\n",             // truncated
+		"r1\nACGT\n+\nIIII\n",     // missing @
+		"@r1\nACGT\nIIII\nIIII\n", // missing +
+	}
+	for i, in := range cases {
+		if _, err := ReadFastq(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestFastqRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "x", Seq: []byte("ACGTA"), Qual: []byte("IJKLM")},
+		{Name: "y", Seq: []byte("TT")}, // nil qual gets filled
+	}
+	var buf bytes.Buffer
+	if err := WriteFastq(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastq(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Qual) != "IJKLM" {
+		t.Errorf("qual = %q want IJKLM", got[0].Qual)
+	}
+	if string(got[1].Qual) != "II" {
+		t.Errorf("filled qual = %q want II", got[1].Qual)
+	}
+}
+
+func TestCodesOf(t *testing.T) {
+	rec := Record{Name: "r", Seq: []byte("ACGT")}
+	codes, err := CodesOf(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v want %v", codes, want)
+		}
+	}
+}
+
+func TestCodesOfAmbiguous(t *testing.T) {
+	rec := Record{Name: "r", Seq: []byte("ACNNT")}
+	if _, err := CodesOf(rec, nil); err == nil {
+		t.Error("nil rng accepted N")
+	}
+	codes, err := CodesOf(rec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		if c > 3 {
+			t.Errorf("code %d at %d out of range", c, i)
+		}
+	}
+	if codes[0] != 0 || codes[1] != 1 || codes[4] != 3 {
+		t.Errorf("unambiguous bases altered: %v", codes)
+	}
+}

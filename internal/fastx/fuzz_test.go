@@ -1,0 +1,55 @@
+package fastx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// The parsers face arbitrary files; they must reject or accept but never
+// panic, and anything they accept must round-trip.
+
+func TestReadFastaNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		recs, err := ReadFasta(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		// Accepted input must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteFasta(&buf, recs, 60); err != nil {
+			return false
+		}
+		again, err := ReadFasta(&buf)
+		if err != nil || len(again) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(again[i].Seq, recs[i].Seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFastqNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		recs, err := ReadFastq(bytes.NewReader(raw))
+		if err != nil {
+			return true
+		}
+		for _, r := range recs {
+			if len(r.Qual) != len(r.Seq) {
+				return false // parser let a length mismatch through
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package fmindex
+
+// Approximate backward search: enumerate the SA intervals of every string
+// within a bounded number of substitutions of the pattern, by branching
+// the backward-search extension. This is the engine behind Yara-style
+// approximate seeds — filtration schemes that tolerate errors inside the
+// seed itself. Cost grows steeply with the error bound, which is exactly
+// why such mappers slow down at high δ.
+
+// ApproxHit is one interval of occurrences of a pattern variant.
+type ApproxHit struct {
+	Lo, Hi int
+	Errors int
+}
+
+// RangeApprox reports the SA intervals of all strings matching p with at
+// most maxErrors substitutions. Intervals for different error layouts may
+// overlap in position space; callers dedupe located candidates. The
+// return value is the number of ExtendLeft steps spent (for cost
+// accounting). fn is invoked once per maximal surviving interval.
+func (ix *Index) RangeApprox(p []byte, maxErrors int, fn func(ApproxHit)) int {
+	if len(p) == 0 {
+		return 0
+	}
+	steps := 0
+	lo, hi := ix.Start()
+	var rec func(i, lo, hi, errs int)
+	rec = func(i, lo, hi, errs int) {
+		if i < 0 {
+			fn(ApproxHit{Lo: lo, Hi: hi, Errors: errs})
+			return
+		}
+		// Match branch.
+		mlo, mhi := ix.ExtendLeft(p[i], lo, hi)
+		steps++
+		if mlo < mhi {
+			rec(i-1, mlo, mhi, errs)
+		}
+		if errs == maxErrors {
+			return
+		}
+		// Substitution branches.
+		for c := byte(0); c < 4; c++ {
+			if c == p[i] {
+				continue
+			}
+			slo, shi := ix.ExtendLeft(c, lo, hi)
+			steps++
+			if slo < shi {
+				rec(i-1, slo, shi, errs+1)
+			}
+		}
+	}
+	rec(len(p)-1, lo, hi, 0)
+	return steps
+}
+
+// CountApprox sums the occurrence counts over RangeApprox. Variants are
+// distinct strings, so intervals are disjoint and the sum is exact.
+func (ix *Index) CountApprox(p []byte, maxErrors int) int {
+	total := 0
+	ix.RangeApprox(p, maxErrors, func(h ApproxHit) { total += h.Hi - h.Lo })
+	return total
+}

@@ -1,0 +1,115 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// naiveHammingCount counts text positions where p matches with at most k
+// substitutions.
+func naiveHammingCount(text, p []byte, k int) int {
+	n := 0
+	for i := 0; i+len(p) <= len(text); i++ {
+		d := 0
+		for j := range p {
+			if text[i+j] != p[j] {
+				d++
+				if d > k {
+					break
+				}
+			}
+		}
+		if d <= k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCountApproxVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		text := randomText(rng, 300+rng.Intn(500))
+		ix := Build(text, Options{})
+		for q := 0; q < 20; q++ {
+			plen := 4 + rng.Intn(8)
+			start := rng.Intn(len(text) - plen)
+			p := append([]byte(nil), text[start:start+plen]...)
+			if rng.Intn(2) == 0 { // sometimes mutate so matches need the error budget
+				p[rng.Intn(plen)] = byte(rng.Intn(4))
+			}
+			for k := 0; k <= 2; k++ {
+				got := ix.CountApprox(p, k)
+				want := naiveHammingCount(text, p, k)
+				if got != want {
+					t.Fatalf("trial %d k=%d p=%v: CountApprox %d want %d",
+						trial, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeApproxZeroErrorsEqualsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text := randomText(rng, 500)
+	ix := Build(text, Options{})
+	p := text[100:112]
+	var hits []ApproxHit
+	steps := ix.RangeApprox(p, 0, func(h ApproxHit) { hits = append(hits, h) })
+	lo, hi := ix.Range(p)
+	if len(hits) != 1 || hits[0].Lo != lo || hits[0].Hi != hi || hits[0].Errors != 0 {
+		t.Fatalf("hits = %+v want exactly [{%d %d 0}]", hits, lo, hi)
+	}
+	if steps < len(p) {
+		t.Errorf("steps = %d, want at least pattern length %d", steps, len(p))
+	}
+}
+
+func TestRangeApproxStepsGrowWithErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text := randomText(rng, 5000)
+	ix := Build(text, Options{})
+	p := text[1000:1020]
+	prev := 0
+	for k := 0; k <= 2; k++ {
+		steps := ix.RangeApprox(p, k, func(ApproxHit) {})
+		if steps <= prev {
+			t.Fatalf("k=%d steps %d did not grow over %d", k, steps, prev)
+		}
+		prev = steps
+	}
+}
+
+func TestRangeApproxLocatedPositionsAreValid(t *testing.T) {
+	// Every located occurrence must genuinely be within the error budget.
+	rng := rand.New(rand.NewSource(4))
+	text := randomText(rng, 2000)
+	ix := Build(text, Options{})
+	p := append([]byte(nil), text[500:516]...)
+	p[3] = (p[3] + 1) % 4
+	const k = 1
+	ix.RangeApprox(p, k, func(h ApproxHit) {
+		for _, pos := range ix.Locate(h.Lo, h.Hi, 0, nil) {
+			d := 0
+			for j := range p {
+				if text[int(pos)+j] != p[j] {
+					d++
+				}
+			}
+			if d != h.Errors {
+				t.Fatalf("hit errors %d but occurrence at %d has %d mismatches",
+					h.Errors, pos, d)
+			}
+		}
+	})
+}
+
+func TestRangeApproxEmptyPattern(t *testing.T) {
+	ix := Build(dna.MustEncode("ACGT"), Options{})
+	if steps := ix.RangeApprox(nil, 1, func(ApproxHit) { t.Fatal("hit on empty pattern") }); steps != 0 {
+		t.Errorf("steps = %d want 0", steps)
+	}
+}

@@ -1,0 +1,259 @@
+// Package fmindex implements an FM-index (Ferragina & Manzini, FOCS 2000)
+// over 2-bit DNA texts: checkpointed Occ ranks on the packed BWT, backward
+// search, single-character left extension (the primitive the filtration DP
+// walks), and locate via either the full suffix array or a sampled suffix
+// array in the style of Bowtie 2 — the space/time trade-off the paper's
+// §IV discusses.
+package fmindex
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/bwt"
+	"repro/internal/dna"
+	"repro/internal/suffix"
+)
+
+// occCheckpoint is the number of BWT positions covered by one Occ
+// checkpoint. 128 keeps the scan within 32 packed bytes.
+const occCheckpoint = 128
+
+// Options configure index construction.
+type Options struct {
+	// SASampleRate selects locate storage: 0 keeps the full suffix
+	// array (4 bytes/base, fastest locate); a positive rate r stores
+	// only suffix positions divisible by r and recovers the rest by
+	// LF-walking (≤ r-1 steps), shrinking memory by ~r×.
+	SASampleRate int
+}
+
+// Index is an immutable FM-index over a DNA reference.
+type Index struct {
+	n           int    // text length
+	counts      [4]int // per-base symbol counts
+	cArr        [5]int // cArr[b] = rows before the first suffix starting with base b
+	bwt         dna.PackedSeq
+	sentinelRow int
+	// occ holds cumulative per-base counts at every checkpoint:
+	// occ[4*j+b] = occurrences of base b in bwt[0 : j*occCheckpoint),
+	// sentinel placeholder excluded.
+	occ  []int32
+	text dna.PackedSeq
+
+	// Locate support: exactly one of sa or (samples, sampled) is set.
+	sa         []int32
+	sampleRate int
+	samples    []int32
+	sampled    *bitvec.Rank
+}
+
+// Build constructs the index for text (base codes). The text is retained
+// (packed) for verification-window extraction.
+func Build(text []byte, opts Options) *Index {
+	sa := suffix.Build(text)
+	return buildFromSA(text, sa, opts)
+}
+
+func buildFromSA(text []byte, sa []int32, opts Options) *Index {
+	n := len(text)
+	bw, sentinelRow := bwt.Transform(text, sa)
+	ix := &Index{
+		n:           n,
+		bwt:         dna.Pack(bw),
+		sentinelRow: sentinelRow,
+		text:        dna.Pack(text),
+	}
+	for _, c := range text {
+		ix.counts[c]++
+	}
+	sum := 1 // row 0 is the sentinel suffix
+	for b := 0; b < 4; b++ {
+		ix.cArr[b] = sum
+		sum += ix.counts[b]
+	}
+	ix.cArr[4] = sum
+
+	ix.buildOcc(bw)
+
+	if opts.SASampleRate <= 0 {
+		ix.sa = sa
+	} else {
+		ix.sampleRate = opts.SASampleRate
+		ix.buildSamples(sa)
+	}
+	return ix
+}
+
+func (ix *Index) buildOcc(bw []byte) {
+	m := len(bw) // n+1
+	nCheckpoints := m/occCheckpoint + 1
+	ix.occ = make([]int32, 4*nCheckpoints)
+	var running [4]int32
+	for i, c := range bw {
+		if i%occCheckpoint == 0 {
+			copy(ix.occ[4*(i/occCheckpoint):], running[:])
+		}
+		if i == ix.sentinelRow {
+			continue
+		}
+		running[c]++
+	}
+	if m%occCheckpoint == 0 {
+		copy(ix.occ[4*(m/occCheckpoint):], running[:])
+	}
+}
+
+func (ix *Index) buildSamples(sa []int32) {
+	rate := ix.sampleRate
+	bld := bitvec.NewBuilder(ix.n + 1)
+	// Row 0 holds the sentinel suffix with text position n; sample it so
+	// LF walks terminate without wrapping (position n % rate may be
+	// nonzero, but the walk below never visits row 0 for real patterns).
+	var vals []int32
+	for row, pos := range sa {
+		if int(pos)%rate == 0 {
+			bld.Set(row + 1) // +1: FM rows are shifted by the sentinel row
+			vals = append(vals, pos)
+		}
+	}
+	ix.sampled = bld.Build()
+	ix.samples = vals
+}
+
+// Len returns the reference length.
+func (ix *Index) Len() int { return ix.n }
+
+// Text returns the packed reference retained by the index.
+func (ix *Index) Text() dna.PackedSeq { return ix.text }
+
+// Start returns the backward-search interval covering all rows.
+func (ix *Index) Start() (lo, hi int) { return 0, ix.n + 1 }
+
+// occAt returns the number of occurrences of base b in bwt[0:i),
+// excluding the sentinel placeholder.
+func (ix *Index) occAt(b byte, i int) int {
+	cp := i / occCheckpoint
+	cnt := int(ix.occ[4*cp+int(b)])
+	for p := cp * occCheckpoint; p < i; p++ {
+		if p == ix.sentinelRow {
+			continue
+		}
+		if ix.bwt.At(p) == b {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// ExtendLeft narrows the interval [lo, hi) for pattern P to the interval
+// for cP. An empty result (lo >= hi) means cP does not occur.
+// This is a single FM-index backward-search step and is the unit of
+// filtration work the mappers account.
+func (ix *Index) ExtendLeft(c byte, lo, hi int) (int, int) {
+	return ix.cArr[c] + ix.occAt(c, lo), ix.cArr[c] + ix.occAt(c, hi)
+}
+
+// Range runs a full backward search for pattern p (base codes) and
+// returns the matching SA interval [lo, hi); lo >= hi means no match.
+func (ix *Index) Range(p []byte) (lo, hi int) {
+	lo, hi = ix.Start()
+	for i := len(p) - 1; i >= 0 && lo < hi; i-- {
+		lo, hi = ix.ExtendLeft(p[i], lo, hi)
+	}
+	return lo, hi
+}
+
+// Count returns the number of occurrences of p in the text.
+func (ix *Index) Count(p []byte) int {
+	lo, hi := ix.Range(p)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// lf maps a BWT row to the row of the suffix one text position earlier.
+func (ix *Index) lf(row int) int {
+	if row == ix.sentinelRow {
+		return 0
+	}
+	c := ix.bwt.At(row)
+	return ix.cArr[c] + ix.occAt(c, row)
+}
+
+// resolve returns the text position of the suffix at the given FM row.
+func (ix *Index) resolve(row int) int {
+	if ix.sa != nil {
+		if row == 0 {
+			return ix.n
+		}
+		return int(ix.sa[row-1])
+	}
+	steps := 0
+	for {
+		if row == 0 {
+			return ix.n + steps
+		}
+		if ix.sampled.Get(row) {
+			return int(ix.samples[ix.sampled.Rank1(row)]) + steps
+		}
+		row = ix.lf(row)
+		steps++
+	}
+}
+
+// Locate appends the text positions of all suffixes in [lo, hi) to out
+// and returns it. Positions are not sorted. The limit caps how many are
+// produced; limit <= 0 means all.
+func (ix *Index) Locate(lo, hi, limit int, out []int32) []int32 {
+	if limit <= 0 || limit > hi-lo {
+		limit = hi - lo
+	}
+	for r := lo; r < lo+limit; r++ {
+		out = append(out, int32(ix.resolve(r)))
+	}
+	return out
+}
+
+// LocateSteps reports the number of LF-mapping steps locate would spend
+// on one row on average: 0 for the full suffix array, ~(rate-1)/2 when
+// sampled. Used by cost accounting.
+func (ix *Index) LocateSteps() float64 {
+	if ix.sa != nil {
+		return 0
+	}
+	return float64(ix.sampleRate-1) / 2
+}
+
+// SizeBytes reports the approximate memory footprint of the index
+// structures (bwt + occ + locate support + retained text). The simulated
+// OpenCL devices check this against their allocation limits.
+func (ix *Index) SizeBytes() int64 {
+	size := int64(len(ix.bwt.Bytes())) + int64(len(ix.occ))*4 + int64(len(ix.text.Bytes()))
+	if ix.sa != nil {
+		size += int64(len(ix.sa)) * 4
+	} else {
+		size += int64(len(ix.samples))*4 + ix.sampled.SizeBytes()
+	}
+	return size
+}
+
+// validate performs internal consistency checks; it is exercised by tests
+// and by ReadFrom to reject corrupted inputs.
+func (ix *Index) validate() error {
+	total := 0
+	for _, c := range ix.counts {
+		total += c
+	}
+	if total != ix.n {
+		return fmt.Errorf("fmindex: counts sum %d != n %d", total, ix.n)
+	}
+	if ix.sentinelRow < 0 || ix.sentinelRow > ix.n {
+		return fmt.Errorf("fmindex: sentinel row %d out of range", ix.sentinelRow)
+	}
+	if ix.sa == nil && (ix.sampleRate <= 0 || ix.sampled == nil) {
+		return fmt.Errorf("fmindex: no locate support present")
+	}
+	return nil
+}

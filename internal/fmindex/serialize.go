@@ -1,0 +1,222 @@
+package fmindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/dna"
+)
+
+// Binary format: magic, version, then fixed-width fields and length-
+// prefixed sections. All integers are little-endian.
+const (
+	indexMagic   = uint32(0x52455055) // "REPU"
+	indexVersion = uint32(1)
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+
+	writeU32 := func(v uint32) { binary.Write(cw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(cw, binary.LittleEndian, v) }
+
+	writeU32(indexMagic)
+	writeU32(indexVersion)
+	writeU64(uint64(ix.n))
+	for _, c := range ix.counts {
+		writeU64(uint64(c))
+	}
+	writeU64(uint64(ix.sentinelRow))
+	writeU32(uint32(ix.sampleRate))
+
+	writeBytes := func(b []byte) {
+		writeU64(uint64(len(b)))
+		cw.Write(b)
+	}
+	writeInt32s := func(s []int32) {
+		writeU64(uint64(len(s)))
+		binary.Write(cw, binary.LittleEndian, s)
+	}
+	writeBytes(ix.bwt.Bytes())
+	writeBytes(ix.text.Bytes())
+	writeInt32s(ix.occ)
+	if ix.sa != nil {
+		writeU32(0) // locate mode: full SA
+		writeInt32s(ix.sa)
+	} else {
+		writeU32(1) // locate mode: sampled
+		writeInt32s(ix.samples)
+		words := ix.sampled.Words()
+		writeU64(uint64(len(words)))
+		binary.Write(cw, binary.LittleEndian, words)
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("fmindex: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("fmindex: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("fmindex: unsupported version %d", version)
+	}
+
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+
+	ix := &Index{}
+	nU, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 40
+	if nU > maxLen {
+		return nil, fmt.Errorf("fmindex: implausible length %d", nU)
+	}
+	ix.n = int(nU)
+	for i := range ix.counts {
+		v, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		ix.counts[i] = int(v)
+	}
+	sr, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	ix.sentinelRow = int(sr)
+	rate, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ix.sampleRate = int(rate)
+
+	readBytes := func() ([]byte, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("fmindex: implausible section size %d", n)
+		}
+		b := make([]byte, n)
+		_, err = io.ReadFull(br, b)
+		return b, err
+	}
+	readInt32s := func() ([]int32, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("fmindex: implausible section size %d", n)
+		}
+		s := make([]int32, n)
+		err = binary.Read(br, binary.LittleEndian, s)
+		return s, err
+	}
+
+	bwtBytes, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	ix.bwt = packedFromBytes(bwtBytes, ix.n+1)
+	textBytes, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	ix.text = packedFromBytes(textBytes, ix.n)
+	if ix.occ, err = readInt32s(); err != nil {
+		return nil, err
+	}
+	mode, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case 0:
+		if ix.sa, err = readInt32s(); err != nil {
+			return nil, err
+		}
+		ix.sampleRate = 0
+	case 1:
+		if ix.samples, err = readInt32s(); err != nil {
+			return nil, err
+		}
+		nWords, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if nWords > maxLen/8 {
+			return nil, fmt.Errorf("fmindex: implausible bitvector size %d", nWords)
+		}
+		words := make([]uint64, nWords)
+		if err := binary.Read(br, binary.LittleEndian, words); err != nil {
+			return nil, err
+		}
+		ix.sampled = bitvec.FromWords(words, ix.n+1)
+	default:
+		return nil, fmt.Errorf("fmindex: unknown locate mode %d", mode)
+	}
+
+	sum := 1
+	for b := 0; b < 4; b++ {
+		ix.cArr[b] = sum
+		sum += ix.counts[b]
+	}
+	ix.cArr[4] = sum
+	if err := ix.validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// packedFromBytes wraps already-packed data in a PackedSeq of n bases.
+func packedFromBytes(data []byte, n int) dna.PackedSeq {
+	return dna.FromPacked(data, n)
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,75 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializationProperty(t *testing.T) {
+	// Any index (any text, either locate mode) must round-trip and keep
+	// answering count queries identically.
+	f := func(rawText []byte, rateRaw uint8, queryRaw []byte) bool {
+		if len(rawText) < 4 {
+			return true
+		}
+		if len(rawText) > 800 {
+			rawText = rawText[:800]
+		}
+		text := make([]byte, len(rawText))
+		for i, b := range rawText {
+			text[i] = b & 3
+		}
+		rate := 0
+		if rateRaw%2 == 1 {
+			rate = 2 + int(rateRaw)%30
+		}
+		ix := Build(text, Options{SASampleRate: rate})
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		// Probe with a few substrings and a few arbitrary patterns.
+		rng := rand.New(rand.NewSource(int64(len(rawText))))
+		for q := 0; q < 8; q++ {
+			plen := 1 + rng.Intn(6)
+			var p []byte
+			if q%2 == 0 && len(text) > plen {
+				s := rng.Intn(len(text) - plen)
+				p = text[s : s+plen]
+			} else {
+				p = make([]byte, plen)
+				for i := range p {
+					if i < len(queryRaw) {
+						p[i] = queryRaw[i] & 3
+					}
+				}
+			}
+			if got.Count(p) != ix.Count(p) {
+				return false
+			}
+			lo, hi := ix.Range(p)
+			a := ix.Locate(lo, hi, 0, nil)
+			b := got.Locate(lo, hi, 0, nil)
+			if len(a) != len(b) {
+				return false
+			}
+			sortInt32(a)
+			sortInt32(b)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocateSpansProperty(t *testing.T) {
+	// Random contig layouts: Locate and SpansBoundary must agree with a
+	// brute-force walk of the contig table.
+	f := func(sizesRaw []uint8, posRaw, lenRaw uint16) bool {
+		var names []string
+		var seqs [][]byte
+		rng := rand.New(rand.NewSource(int64(posRaw)))
+		for i, s := range sizesRaw {
+			size := 1 + int(s)%200
+			names = append(names, fmt.Sprintf("c%d", i))
+			seq := make([]byte, size)
+			for j := range seq {
+				seq[j] = byte(rng.Intn(4))
+			}
+			seqs = append(seqs, seq)
+			if len(names) == 8 {
+				break
+			}
+		}
+		if len(names) == 0 {
+			return true
+		}
+		g, err := New(names, seqs)
+		if err != nil {
+			return false
+		}
+		pos := int(posRaw) % g.Len()
+		length := 1 + int(lenRaw)%150
+
+		// Brute force: find contig by scanning.
+		at := 0
+		var wantName string
+		var wantOff int
+		for i, s := range seqs {
+			if pos < at+len(s) {
+				wantName, wantOff = names[i], pos-at
+				break
+			}
+			at += len(s)
+		}
+		c, off, err := g.Locate(pos)
+		if err != nil || c.Name != wantName || off != wantOff {
+			return false
+		}
+		wantSpan := wantOff+length > len(seqs[indexOf(names, wantName)]) || pos+length > g.Len()
+		return g.SpansBoundary(pos, length) == wantSpan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

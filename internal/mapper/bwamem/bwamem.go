@@ -1,0 +1,186 @@
+// Package bwamem reimplements the seeding/extension skeleton of BWA-MEM
+// (Li & Durbin, Bioinformatics 2010; MEM variant 2013): greedy maximal
+// exact matches found by FM-index backward extension from spaced anchors,
+// candidate chaining by diagonal, banded-DP extension, and primary-only
+// reporting. As a best-mapper that emits a single alignment per read it
+// scores low on the paper's all-locations metric and high on any-best —
+// the contrast Tables I and II show.
+package bwamem
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/cl"
+	"repro/internal/dna"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+)
+
+// minSeedLen mirrors BWA-MEM's default -k 19.
+const minSeedLen = 19
+
+// maxHitsPerSeed skips seeds more frequent than this (BWA's -c filter).
+const maxHitsPerSeed = 200
+
+// bandWidth mirrors BWA-MEM's default -w 100: every chain extension runs
+// a banded Smith-Waterman of this half-width regardless of δ, which is
+// why BWA's time is flat in δ but high in absolute terms (Table I).
+const bandWidth = 100
+
+// Mapper is a BWA-MEM-style best-mapper bound to a reference.
+type Mapper struct {
+	ix  *fmindex.Index
+	dev *cl.Device
+}
+
+// New creates the mapper on a host device.
+func New(ref []byte, dev *cl.Device) (*Mapper, error) {
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("bwamem: empty reference")
+	}
+	return &Mapper{ix: fmindex.Build(ref, fmindex.Options{}), dev: dev}, nil
+}
+
+// Name implements mapper.Mapper.
+func (m *Mapper) Name() string { return "BWA-MEM" }
+
+// seedsOf finds maximal exact matches by backward extension from anchor
+// end positions spread over the read.
+func (m *Mapper) seedsOf(pattern []byte, anchors int, itemCost *cl.Cost) []memSeed {
+	n := len(pattern)
+	var seeds []memSeed
+	step := n / anchors
+	if step < 1 {
+		step = 1
+	}
+	for end := n; end >= minSeedLen; end -= step {
+		lo, hi := m.ix.Start()
+		start := end
+		bestLo, bestHi, bestStart := 0, 0, end
+		for start > 0 {
+			nlo, nhi := m.ix.ExtendLeft(pattern[start-1], lo, hi)
+			itemCost.FMSteps++
+			if nlo >= nhi {
+				break
+			}
+			lo, hi = nlo, nhi
+			start--
+			bestLo, bestHi, bestStart = lo, hi, start
+		}
+		if end-bestStart >= minSeedLen && bestHi > bestLo {
+			seeds = append(seeds, memSeed{start: bestStart, end: end, lo: bestLo, hi: bestHi})
+		}
+	}
+	return seeds
+}
+
+type memSeed struct {
+	start, end int
+	lo, hi     int
+}
+
+// Map implements mapper.Mapper.
+func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error) {
+	opt = opt.WithDefaults()
+	if err := mapper.ValidateReads(reads, opt); err != nil {
+		return nil, err
+	}
+	res := &mapper.Result{
+		Mappings:      make([][]mapper.Mapping, len(reads)),
+		DeviceSeconds: map[string]float64{},
+	}
+	if len(reads) == 0 {
+		return res, nil
+	}
+	locSteps := m.ix.LocateSteps()
+	text := m.ix.Text()
+
+	rev := make([]byte, len(reads[0]))
+	var locs []int32
+	var window []byte
+	body := func(wi *cl.WorkItem) {
+		read := reads[wi.Global]
+		n := len(read)
+		var itemCost cl.Cost
+		best := mapper.Mapping{Dist: uint8(opt.MaxErrors) + 1}
+		haveBest := false
+		for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
+			pattern := read
+			if strand == mapper.Reverse {
+				rev = rev[:n]
+				dna.ReverseComplementInto(rev, read)
+				pattern = rev
+			}
+			// BWA-MEM re-seeds roughly every ~20 bp along the read.
+			seeds := m.seedsOf(pattern, n/20+1, &itemCost)
+			seen := map[int32]bool{}
+			for _, sd := range seeds {
+				c := sd.hi - sd.lo
+				if c > maxHitsPerSeed {
+					continue
+				}
+				locs = m.ix.Locate(sd.lo, sd.hi, 0, locs[:0])
+				itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
+				for _, p := range locs {
+					cand := p - int32(sd.start)
+					key := cand / int32(opt.MaxErrors+1)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					lo := int(cand) - opt.MaxErrors
+					hi := int(cand) + n + opt.MaxErrors
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > text.Len() {
+						hi = text.Len()
+					}
+					if hi-lo < n-opt.MaxErrors {
+						continue
+					}
+					if cap(window) < hi-lo {
+						window = make([]byte, hi-lo)
+					}
+					win := text.SliceInto(window, lo, hi)
+					// Full-bandwidth banded SW extension per chain.
+					itemCost.DPCells += int64((2*bandWidth + 1) * n)
+					end, dist := align.BandedDistance(pattern, win, opt.MaxErrors)
+					if end < 0 {
+						continue
+					}
+					if uint8(dist) < best.Dist {
+						// Recover the start with a Myers reverse pass.
+						itemCost.VerifyWords += int64(align.WordCost(n) * end)
+						match, ok := align.Verify(pattern, win[:end], dist)
+						if !ok {
+							continue
+						}
+						best = mapper.Mapping{
+							Pos:    int32(lo + match.Start),
+							Strand: strand,
+							Dist:   uint8(match.Dist),
+						}
+						haveBest = true
+					}
+				}
+			}
+		}
+		itemCost.Items = 1
+		wi.Charge(itemCost)
+		if haveBest {
+			res.Mappings[wi.Global] = []mapper.Mapping{best}
+		}
+	}
+
+	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "bwamem-map", len(reads), 2048, body)
+	if err != nil {
+		return nil, err
+	}
+	res.SimSeconds = busy
+	res.EnergyJ = energy
+	res.Cost = cost
+	res.DeviceSeconds[m.dev.Name] = busy
+	return res, nil
+}

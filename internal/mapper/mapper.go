@@ -1,0 +1,260 @@
+// Package mapper defines the interface and shared machinery of every read
+// mapper in the repository: mapping records, run options, result and
+// accounting types, and the candidate-verification step (dedup + Myers
+// bit-vector + coordinate recovery) that all filtration strategies feed.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/cl"
+	"repro/internal/dna"
+)
+
+// Strand constants.
+const (
+	Forward = byte('+')
+	Reverse = byte('-')
+)
+
+// Mapping is one reported location of a read: the leftmost reference
+// position in forward-strand coordinates, the strand, and the edit
+// distance. Per the paper's §IV, REPUTE reports exactly this triple (no
+// CIGAR string).
+type Mapping struct {
+	Pos    int32
+	Strand byte
+	Dist   uint8
+}
+
+// Options configure a mapping run.
+type Options struct {
+	// MaxErrors is δ, the maximum edit distance.
+	MaxErrors int
+	// MaxLocations caps reported locations per read (the paper's
+	// "first-n" policy forced by static allocation); 0 means 1000, the
+	// setting used for most mappers in §III-A.
+	MaxLocations int
+	// Best selects best-mapper behaviour: only locations at the minimal
+	// observed distance are reported (Yara/BWA-MEM/GEM-style).
+	Best bool
+	// MinSeedLen is Smin for the DP and heuristic selectors.
+	MinSeedLen int
+	// MaxSeedFreq is the CORAL growth threshold (0 = default).
+	MaxSeedFreq int
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.MaxLocations <= 0 {
+		o.MaxLocations = 1000
+	}
+	if o.MaxErrors < 0 {
+		o.MaxErrors = 0
+	}
+	return o
+}
+
+// Result is the output of mapping a read set.
+type Result struct {
+	// Mappings[i] are read i's reported locations, deduplicated, sorted
+	// by (Pos, Strand).
+	Mappings [][]Mapping
+	// SimSeconds is the simulated mapping time: the makespan across the
+	// devices used (task-parallel kernels finish together at the max).
+	SimSeconds float64
+	// EnergyJ is the marginal (above idle) energy across devices.
+	EnergyJ float64
+	// DeviceSeconds is per-device busy time.
+	DeviceSeconds map[string]float64
+	// Cost aggregates the abstract operations performed.
+	Cost cl.Cost
+}
+
+// MappedReads counts reads with at least one reported location.
+func (r *Result) MappedReads() int {
+	n := 0
+	for _, ms := range r.Mappings {
+		if len(ms) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalLocations counts all reported locations.
+func (r *Result) TotalLocations() int {
+	n := 0
+	for _, ms := range r.Mappings {
+		n += len(ms)
+	}
+	return n
+}
+
+// Mapper is a complete read mapper bound to a reference.
+type Mapper interface {
+	Name() string
+	Map(reads [][]byte, opt Options) (*Result, error)
+}
+
+// Candidate is an unverified potential read start position on one strand.
+type Candidate struct {
+	Pos    int32 // putative leftmost read position (may be refined by ±δ)
+	Strand byte
+}
+
+// DedupCandidates sorts candidates and collapses entries whose positions
+// fall within tol of the previous kept entry on the same strand — seeds
+// from the same alignment vote for positions that differ by the indel
+// offset, so tol is normally δ.
+func DedupCandidates(cands []Candidate, tol int32) []Candidate {
+	if len(cands) == 0 {
+		return cands
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Strand != cands[j].Strand {
+			return cands[i].Strand < cands[j].Strand
+		}
+		return cands[i].Pos < cands[j].Pos
+	})
+	out := cands[:1]
+	for _, c := range cands[1:] {
+		last := out[len(out)-1]
+		if c.Strand == last.Strand && c.Pos-last.Pos <= tol {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// VerifyState carries reusable buffers across per-read verifications.
+type VerifyState struct {
+	window  []byte
+	revComp []byte
+}
+
+// VerifyCost tallies the work a verification performed so kernels can
+// charge it to their work item.
+type VerifyCost struct {
+	Windows     int64
+	VerifyWords int64
+}
+
+// Verify checks every candidate with the Myers bit-vector and returns the
+// verified mappings (deduplicated by exact position and strand, sorted).
+// reads on the reverse strand are verified against the reverse-complement
+// pattern so the reported position stays in forward coordinates.
+func (vs *VerifyState) Verify(text dna.PackedSeq, read []byte, cands []Candidate, maxDist, maxLoc int) ([]Mapping, VerifyCost) {
+	var out []Mapping
+	var cost VerifyCost
+	n := len(read)
+	for _, c := range cands {
+		pattern := read
+		if c.Strand == Reverse {
+			if cap(vs.revComp) < n {
+				vs.revComp = make([]byte, n)
+			}
+			vs.revComp = vs.revComp[:n]
+			dna.ReverseComplementInto(vs.revComp, read)
+			pattern = vs.revComp
+		}
+		lo := int(c.Pos) - maxDist
+		hi := int(c.Pos) + n + maxDist
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > text.Len() {
+			hi = text.Len()
+		}
+		if hi-lo < n-maxDist {
+			continue
+		}
+		if cap(vs.window) < hi-lo {
+			vs.window = make([]byte, hi-lo)
+		}
+		win := text.SliceInto(vs.window, lo, hi)
+		cost.Windows++
+		cost.VerifyWords += int64(align.WordCost(n) * len(win))
+		m, ok := align.Verify(pattern, win, maxDist)
+		if !ok {
+			continue
+		}
+		out = append(out, Mapping{
+			Pos:    int32(lo + m.Start),
+			Strand: c.Strand,
+			Dist:   uint8(m.Dist),
+		})
+	}
+	out = Finalize(out, false, maxLoc)
+	return out, cost
+}
+
+// Finalize deduplicates, optionally keeps only the best stratum, sorts,
+// and applies the first-n location cap.
+func Finalize(ms []Mapping, bestOnly bool, maxLoc int) []Mapping {
+	if len(ms) == 0 {
+		return ms
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Pos != ms[j].Pos {
+			return ms[i].Pos < ms[j].Pos
+		}
+		if ms[i].Strand != ms[j].Strand {
+			return ms[i].Strand < ms[j].Strand
+		}
+		return ms[i].Dist < ms[j].Dist
+	})
+	dedup := ms[:1]
+	for _, m := range ms[1:] {
+		last := &dedup[len(dedup)-1]
+		if m.Pos == last.Pos && m.Strand == last.Strand {
+			if m.Dist < last.Dist {
+				last.Dist = m.Dist
+			}
+			continue
+		}
+		dedup = append(dedup, m)
+	}
+	ms = dedup
+	if bestOnly {
+		best := ms[0].Dist
+		for _, m := range ms[1:] {
+			if m.Dist < best {
+				best = m.Dist
+			}
+		}
+		keep := ms[:0]
+		for _, m := range ms {
+			if m.Dist == best {
+				keep = append(keep, m)
+			}
+		}
+		ms = keep
+	}
+	if maxLoc > 0 && len(ms) > maxLoc {
+		ms = ms[:maxLoc]
+	}
+	return ms
+}
+
+// ValidateReads rejects reads no mapper here can handle.
+func ValidateReads(reads [][]byte, opt Options) error {
+	for i, r := range reads {
+		if len(r) == 0 {
+			return fmt.Errorf("mapper: read %d is empty", i)
+		}
+		if len(r) <= opt.MaxErrors {
+			return fmt.Errorf("mapper: read %d length %d <= max errors %d",
+				i, len(r), opt.MaxErrors)
+		}
+		for j, c := range r {
+			if c > 3 {
+				return fmt.Errorf("mapper: read %d has invalid code %d at %d", i, c, j)
+			}
+		}
+	}
+	return nil
+}

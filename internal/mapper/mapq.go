@@ -1,0 +1,55 @@
+package mapper
+
+// EstimateMAPQ derives a Phred-scaled mapping quality for a read's
+// primary (first) location from its reported location list, with the
+// usual best-mapper semantics:
+//
+//   - no locations → 0;
+//   - ties in the best stratum → 0 (placement is a coin toss);
+//   - a unique best location scores higher the further away the
+//     second-best stratum is, saturating at 42 (as BWA/Bowtie2 do);
+//   - heavy multi-mapping outside the best stratum still drags the
+//     quality down logarithmically.
+//
+// The mappings must be Finalize output (deduplicated); order within the
+// list does not matter.
+func EstimateMAPQ(ms []Mapping) uint8 {
+	if len(ms) == 0 {
+		return 0
+	}
+	best := ms[0].Dist
+	for _, m := range ms[1:] {
+		if m.Dist < best {
+			best = m.Dist
+		}
+	}
+	bestCount := 0
+	secondBest := uint8(255)
+	for _, m := range ms {
+		if m.Dist == best {
+			bestCount++
+		} else if m.Dist < secondBest {
+			secondBest = m.Dist
+		}
+	}
+	if bestCount > 1 {
+		return 0
+	}
+	if secondBest == 255 {
+		// Unique location with no competitor at all.
+		return 42
+	}
+	gap := int(secondBest) - int(best)
+	q := 10 + 8*gap
+	// Many near-miss locations lower confidence.
+	for n := len(ms); n > 2; n /= 2 {
+		q -= 2
+	}
+	if q < 1 {
+		q = 1
+	}
+	if q > 42 {
+		q = 42
+	}
+	return uint8(q)
+}

@@ -1,0 +1,52 @@
+package mapper
+
+import "testing"
+
+func TestEstimateMAPQ(t *testing.T) {
+	cases := []struct {
+		name string
+		ms   []Mapping
+		want func(q uint8) bool
+		desc string
+	}{
+		{"unmapped", nil, func(q uint8) bool { return q == 0 }, "0"},
+		{"unique", []Mapping{fm(10, Forward, 1)},
+			func(q uint8) bool { return q == 42 }, "42"},
+		{"tied best", []Mapping{fm(10, Forward, 1), fm(900, Forward, 1)},
+			func(q uint8) bool { return q == 0 }, "0"},
+		{"clear winner", []Mapping{fm(10, Forward, 0), fm(900, Forward, 4)},
+			func(q uint8) bool { return q >= 30 && q <= 42 }, "30..42"},
+		{"narrow winner", []Mapping{fm(10, Forward, 2), fm(900, Forward, 3)},
+			func(q uint8) bool { return q >= 10 && q < 30 }, "10..29"},
+	}
+	for _, tc := range cases {
+		if q := EstimateMAPQ(tc.ms); !tc.want(q) {
+			t.Errorf("%s: MAPQ = %d want %s", tc.name, q, tc.desc)
+		}
+	}
+}
+
+func TestEstimateMAPQMonotonicInGap(t *testing.T) {
+	prev := uint8(0)
+	for gap := uint8(1); gap <= 6; gap++ {
+		ms := []Mapping{fm(10, Forward, 0), fm(900, Forward, gap)}
+		q := EstimateMAPQ(ms)
+		if q < prev {
+			t.Errorf("gap %d: MAPQ %d dropped below %d", gap, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestEstimateMAPQMultiMappingPenalty(t *testing.T) {
+	few := []Mapping{fm(10, Forward, 0), fm(900, Forward, 2)}
+	var many []Mapping
+	many = append(many, fm(10, Forward, 0))
+	for i := int32(1); i <= 16; i++ {
+		many = append(many, fm(1000*i, Forward, 2))
+	}
+	if EstimateMAPQ(many) >= EstimateMAPQ(few) {
+		t.Errorf("16 near-misses (%d) not below 1 near-miss (%d)",
+			EstimateMAPQ(many), EstimateMAPQ(few))
+	}
+}

@@ -1,0 +1,128 @@
+package mapper
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// genCandidates decodes arbitrary bytes into a candidate list.
+func genCandidates(raw []byte) []Candidate {
+	var out []Candidate
+	for i := 0; i+2 < len(raw); i += 3 {
+		pos := int32(raw[i])<<8 | int32(raw[i+1])
+		strand := Forward
+		if raw[i+2]&1 == 1 {
+			strand = Reverse
+		}
+		out = append(out, Candidate{Pos: pos, Strand: strand})
+	}
+	return out
+}
+
+func TestDedupCandidatesProperties(t *testing.T) {
+	f := func(raw []byte, tolRaw uint8) bool {
+		tol := int32(tolRaw % 10)
+		in := genCandidates(raw)
+		orig := append([]Candidate(nil), in...)
+		out := DedupCandidates(in, tol)
+		// Sorted by (strand, pos) and gap > tol within a strand.
+		for i := 1; i < len(out); i++ {
+			a, b := out[i-1], out[i]
+			if a.Strand > b.Strand || (a.Strand == b.Strand && b.Pos < a.Pos) {
+				return false
+			}
+			if a.Strand == b.Strand && b.Pos-a.Pos <= tol {
+				return false
+			}
+		}
+		// Every input candidate is within tol of some kept candidate on
+		// its strand (coverage: nothing is lost beyond merging).
+		for _, c := range orig {
+			ok := false
+			for _, k := range out {
+				if k.Strand == c.Strand && c.Pos >= k.Pos && c.Pos-k.Pos <= tol {
+					ok = true
+					break
+				}
+				if k.Strand == c.Strand && k.Pos == c.Pos {
+					ok = true
+					break
+				}
+			}
+			if !ok && len(orig) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genMappings(raw []byte) []Mapping {
+	var out []Mapping
+	for i := 0; i+2 < len(raw); i += 3 {
+		strand := Forward
+		if raw[i+2]&1 == 1 {
+			strand = Reverse
+		}
+		out = append(out, Mapping{
+			Pos:    int32(raw[i]),
+			Strand: strand,
+			Dist:   raw[i+1] % 8,
+		})
+	}
+	return out
+}
+
+func TestFinalizeProperties(t *testing.T) {
+	f := func(raw []byte, bestOnly bool, capRaw uint8) bool {
+		in := genMappings(raw)
+		maxLoc := int(capRaw % 20)
+		out := Finalize(append([]Mapping(nil), in...), bestOnly, maxLoc)
+		if maxLoc > 0 && len(out) > maxLoc {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			a, b := out[i-1], out[i]
+			if a.Pos > b.Pos {
+				return false
+			}
+			if a.Pos == b.Pos && a.Strand == b.Strand {
+				return false // duplicates must be merged
+			}
+		}
+		if bestOnly && len(out) > 0 {
+			best := out[0].Dist
+			for _, m := range out {
+				if m.Dist < best {
+					best = m.Dist
+				}
+			}
+			for _, m := range out {
+				if m.Dist != best {
+					return false
+				}
+			}
+		}
+		// Every output mapping must stem from an input with the same
+		// (pos, strand) and a dist no smaller than reported.
+		for _, m := range out {
+			found := false
+			for _, in1 := range in {
+				if in1.Pos == m.Pos && in1.Strand == m.Strand && in1.Dist >= m.Dist {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

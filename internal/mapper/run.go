@@ -1,0 +1,17 @@
+package mapper
+
+import "repro/internal/cl"
+
+// RunOnDevice executes one per-read kernel over n work items on a single
+// device and returns the simulated timing, energy and cost. The baseline
+// mappers (threaded host programs in the paper) all use this single-queue
+// path; only REPUTE and CORAL split work across devices.
+func RunOnDevice(dev *cl.Device, kernelName string, n int, privateBytes int64, body func(*cl.WorkItem)) (simSeconds, energyJ float64, cost cl.Cost, err error) {
+	q := cl.NewQueue(dev)
+	k := &cl.Kernel{Name: kernelName, PrivateBytesPerItem: privateBytes, Body: body}
+	if _, err := q.EnqueueNDRange(k, n); err != nil {
+		return 0, 0, cl.Cost{}, err
+	}
+	busy, total := q.Finish()
+	return busy, q.EnergyJ(), total, nil
+}

@@ -1,0 +1,18 @@
+package refstats
+
+import "testing"
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {15, 2},
+		{16, 3}, {63, 3}, {64, 4}, {1000, 4},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.c); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d want %d", tc.c, got, tc.want)
+		}
+	}
+	if len(BucketLabels) != 5 {
+		t.Errorf("labels = %v", BucketLabels)
+	}
+}

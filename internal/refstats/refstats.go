@@ -1,0 +1,157 @@
+// Package refstats computes reference and index statistics: k-mer
+// frequency spectra, repeat content and index memory footprints. The
+// experiment harness uses it to demonstrate that the synthetic
+// chromosome-21 stand-in actually lands in the intended filtration
+// regime (DESIGN.md §2's data substitution), and cmd/inspect exposes it.
+package refstats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dna"
+	"repro/internal/fmindex"
+	"repro/internal/qgram"
+)
+
+// Spectrum summarises the k-mer frequency distribution of a reference.
+type Spectrum struct {
+	K int
+	// Buckets counts k-mer *positions* by the frequency of their k-mer:
+	// Buckets[0] = positions whose k-mer occurs once, [1] 2..3 times,
+	// [2] 4..15, [3] 16..63, [4] 64+.
+	Buckets [5]int
+	// DistinctKmers is the number of distinct k-mers present.
+	DistinctKmers int
+	// MeanFreq is the average occurrence count over positions (how many
+	// candidate locations an average exact seed of length K produces).
+	MeanFreq float64
+	// MaxFreq is the largest occurrence count seen.
+	MaxFreq int
+}
+
+// bucketOf maps an occurrence count to its bucket index.
+func bucketOf(c int) int {
+	switch {
+	case c <= 1:
+		return 0
+	case c <= 3:
+		return 1
+	case c <= 15:
+		return 2
+	case c <= 63:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// BucketLabels name the Spectrum buckets in order.
+var BucketLabels = [5]string{"unique", "2-3x", "4-15x", "16-63x", "64x+"}
+
+// KmerSpectrum computes the k-mer spectrum of text via a q-gram index
+// (k is capped at qgram.MaxQ).
+func KmerSpectrum(text []byte, k int) (Spectrum, error) {
+	ix, err := qgram.Build(text, k)
+	if err != nil {
+		return Spectrum{}, err
+	}
+	sp := Spectrum{K: k}
+	buckets := 1 << uint(2*k)
+	totalPositions := 0
+	totalFreq := 0
+	for h := 0; h < buckets; h++ {
+		c := ix.Count(uint32(h))
+		if c == 0 {
+			continue
+		}
+		sp.DistinctKmers++
+		sp.Buckets[bucketOf(c)] += c
+		totalPositions += c
+		totalFreq += c * c
+		if c > sp.MaxFreq {
+			sp.MaxFreq = c
+		}
+	}
+	if totalPositions > 0 {
+		sp.MeanFreq = float64(totalFreq) / float64(totalPositions)
+	}
+	return sp, nil
+}
+
+// MultiMapFraction estimates the fraction of read-length windows whose
+// best exact seed of length k is non-unique — the share of reads that
+// will multi-map, which drives the paper's §III-A metric separation.
+func MultiMapFraction(ix *fmindex.Index, text []byte, readLen, k, stride int) float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	windows, multi := 0, 0
+	for pos := 0; pos+readLen <= len(text); pos += stride {
+		windows++
+		best := int(^uint(0) >> 1)
+		for off := 0; off+k <= readLen; off += k {
+			c := ix.Count(text[pos+off : pos+off+k])
+			if c < best {
+				best = c
+			}
+		}
+		if best > 1 {
+			multi++
+		}
+	}
+	if windows == 0 {
+		return 0
+	}
+	return float64(multi) / float64(windows)
+}
+
+// IndexFootprint reports the memory cost of the index structures at both
+// locate configurations — the §IV memory discussion in numbers.
+type IndexFootprint struct {
+	TextLen        int
+	FullSABytes    int64
+	Sampled32Bytes int64
+}
+
+// Footprint builds both index variants and measures them.
+func Footprint(text []byte) IndexFootprint {
+	full := fmindex.Build(text, fmindex.Options{})
+	sampled := fmindex.Build(text, fmindex.Options{SASampleRate: 32})
+	return IndexFootprint{
+		TextLen:        len(text),
+		FullSABytes:    full.SizeBytes(),
+		Sampled32Bytes: sampled.SizeBytes(),
+	}
+}
+
+// Report renders a human-readable summary of the reference.
+func Report(w io.Writer, text []byte, ks []int) error {
+	fmt.Fprintf(w, "reference: %d bp, GC %.3f\n", len(text), dna.GCContent(text))
+	sort.Ints(ks)
+	for _, k := range ks {
+		sp, err := KmerSpectrum(text, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%d-mer spectrum: %d distinct, mean seed frequency %.2f, max %d\n",
+			sp.K, sp.DistinctKmers, sp.MeanFreq, sp.MaxFreq)
+		total := 0
+		for _, b := range sp.Buckets {
+			total += b
+		}
+		for i, b := range sp.Buckets {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(b) / float64(total)
+			}
+			fmt.Fprintf(w, "  %-7s %9d positions (%5.1f%%)\n", BucketLabels[i], b, pct)
+		}
+	}
+	fp := Footprint(text)
+	fmt.Fprintf(w, "\nindex footprint: full SA %d B (%.1f B/base), sampled 1/32 %d B (%.1f B/base)\n",
+		fp.FullSABytes, float64(fp.FullSABytes)/float64(fp.TextLen),
+		fp.Sampled32Bytes, float64(fp.Sampled32Bytes)/float64(fp.TextLen))
+	return nil
+}

@@ -1,0 +1,106 @@
+package refstats
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+	"repro/internal/fmindex"
+	"repro/internal/simulate"
+)
+
+func TestKmerSpectrumTinyKnown(t *testing.T) {
+	// AAAA: 2-mers are AA x3 -> one distinct k-mer, 3 positions in the
+	// 2-3x bucket.
+	sp, err := KmerSpectrum(dna.MustEncode("AAAA"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.DistinctKmers != 1 || sp.Buckets[1] != 3 || sp.MaxFreq != 3 {
+		t.Errorf("spectrum = %+v", sp)
+	}
+}
+
+func TestKmerSpectrumBucketsSumToPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	text := make([]byte, 5000)
+	for i := range text {
+		text[i] = byte(rng.Intn(4))
+	}
+	for _, k := range []int{4, 8, 11} {
+		sp, err := KmerSpectrum(text, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range sp.Buckets {
+			total += b
+		}
+		if total != len(text)-k+1 {
+			t.Errorf("k=%d: bucket sum %d want %d", k, total, len(text)-k+1)
+		}
+		if sp.MeanFreq < 1 {
+			t.Errorf("k=%d: mean frequency %v < 1", k, sp.MeanFreq)
+		}
+	}
+	if _, err := KmerSpectrum(text, 99); err == nil {
+		t.Error("absurd k accepted")
+	}
+}
+
+func TestRepeatRichReferenceHasFatterTail(t *testing.T) {
+	flat := simulate.Reference(simulate.RefConfig{Length: 150_000, Seed: 2, RepeatFraction: -1, HighCopyFraction: -1})
+	rich := simulate.Reference(simulate.Chr21Like(150_000, 2))
+	spFlat, err := KmerSpectrum(flat, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spRich, err := KmerSpectrum(rich, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := func(sp Spectrum) int { return sp.Buckets[3] + sp.Buckets[4] }
+	if tail(spRich) <= tail(spFlat)*2 {
+		t.Errorf("repeat-rich tail %d not well above flat %d", tail(spRich), tail(spFlat))
+	}
+}
+
+func TestMultiMapFraction(t *testing.T) {
+	rich := simulate.Reference(simulate.Chr21Like(120_000, 3))
+	ix := fmindex.Build(rich, fmindex.Options{})
+	frac := MultiMapFraction(ix, rich, 100, 16, 997)
+	if frac <= 0.02 || frac >= 0.9 {
+		t.Errorf("multi-map fraction %v outside plausible band", frac)
+	}
+	if f := MultiMapFraction(ix, rich[:50], 100, 16, 1); f != 0 {
+		t.Errorf("short text fraction %v want 0", f)
+	}
+}
+
+func TestFootprintSampledSmaller(t *testing.T) {
+	text := simulate.Reference(simulate.Chr21Like(60_000, 4))
+	fp := Footprint(text)
+	if fp.Sampled32Bytes >= fp.FullSABytes {
+		t.Errorf("sampled %d not below full %d", fp.Sampled32Bytes, fp.FullSABytes)
+	}
+	// Full SA should cost roughly 4 B/base more than the sampled one.
+	if ratio := float64(fp.FullSABytes) / float64(fp.Sampled32Bytes); ratio < 1.5 {
+		t.Errorf("full/sampled ratio %v too small", ratio)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	text := simulate.Reference(simulate.Chr21Like(40_000, 5))
+	var buf bytes.Buffer
+	if err := Report(&buf, text, []int{8, 11}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"8-mer spectrum", "11-mer spectrum", "unique", "index footprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package seed
+
+import (
+	"fmt"
+
+	"repro/internal/fmindex"
+)
+
+// REPUTE is the paper's memory-optimised DP seed selector. It finds the
+// partition of the read into δ+1 seeds, each at least MinSeedLen long,
+// that minimises the total number of candidate locations — provably
+// optimal under the minimum-length constraint — while keeping the DP
+// state clipped to the exploration window W = n − Smin·(δ+1) the paper
+// describes: every DP row and the backtracking matrix span W+1 entries
+// instead of the whole read.
+type REPUTE struct{}
+
+// Name implements Selector.
+func (REPUTE) Name() string { return "repute-dp" }
+
+// Select implements Selector.
+func (REPUTE) Select(ix *fmindex.Index, read []byte, p Params) (Selection, error) {
+	smin := p.MinSeedLen
+	if smin < 1 {
+		smin = 1
+	}
+	return dpSelect(ix, read, p.Errors, smin)
+}
+
+// OSS is the full Optimal Seed Solver: the same dynamic program with no
+// minimum seed length, i.e. the exploration space is the entire read.
+// It produces the unconstrained optimum at a larger memory and time cost;
+// the ablation benches quantify the difference.
+type OSS struct{}
+
+// Name implements Selector.
+func (OSS) Name() string { return "oss-full" }
+
+// Select implements Selector.
+func (OSS) Select(ix *fmindex.Index, read []byte, p Params) (Selection, error) {
+	return dpSelect(ix, read, p.Errors, 1)
+}
+
+// dpSelect runs the divider DP shared by REPUTE and OSS.
+//
+// State: opt[j][v] is the minimal total candidate count of splitting
+// read[0 : j*smin + v] into j seeds of length >= smin, for j = 1..δ+1 and
+// window offset v in [0, W], W = n - (δ+1)*smin.
+//
+// The paper's "δ iterations" correspond to j = 2..δ+1. Rather than
+// walking the FM-index separately inside every iteration, prefix ends are
+// processed in ascending order and each end's leftward frequency walk is
+// shared by every iteration that examines it — the OSS-style "efficient
+// use of FM-index backward search" §II-B mentions. Results are identical;
+// the walk count drops by about the iteration overlap factor.
+func dpSelect(ix *fmindex.Index, read []byte, errors, smin int) (Selection, error) {
+	p := Params{Errors: errors, MinSeedLen: smin}
+	n := len(read)
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	parts := errors + 1
+	if n < parts*smin {
+		return Selection{}, fmt.Errorf(
+			"seed: read length %d < %d seeds × Smin %d", n, parts, smin)
+	}
+
+	sel := Selection{}
+	if errors == 0 {
+		lo, hi, st := searchSeed(ix, read, 0, n)
+		sel.Seeds = []Seed{{Start: 0, End: n, Lo: lo, Hi: hi}}
+		sel.TotalCandidates = sel.Seeds[0].Count()
+		sel.FMSteps = st
+		sel.PeakMemBytes = 16
+		return sel, nil
+	}
+
+	w := n - parts*smin // exploration window; offsets v, u are in [0, w]
+	walker := &freqWalker{ix: ix}
+	const inf = int32(1<<31 - 1)
+
+	// opt rows for j = 1..parts at stride w+1; bt rows for j = 2..parts.
+	opt := make([]int32, parts*(w+1))
+	for i := range opt {
+		opt[i] = inf
+	}
+	bt := make([]uint16, (parts-1)*(w+1))
+	counts := make([]int32, smin+w)
+	row := func(j int) []int32 { return opt[(j-1)*(w+1) : j*(w+1)] }
+
+	cells := 0
+	for e := smin; e <= n; e++ {
+		// Iterations j with a prefix end at e: v = e - j*smin in [0, w].
+		jHi := e / smin
+		if jHi > parts {
+			jHi = parts
+		}
+		jLo := (e - w + smin - 1) / smin
+		if jLo < 1 {
+			jLo = 1
+		}
+		if jLo > jHi {
+			continue
+		}
+		// The final iteration only ever needs the full-read prefix.
+		if jHi == parts && e != n {
+			jHi = parts - 1
+			if jLo > jHi {
+				continue
+			}
+		}
+		// One shared leftward walk covers every seed ending at e.
+		maxNeed := smin + w
+		if e < maxNeed {
+			maxNeed = e
+		}
+		walker.walk(read, e, maxNeed, counts[:maxNeed], nil, nil)
+
+		for j := jLo; j <= jHi; j++ {
+			v := e - j*smin
+			if j == 1 {
+				// Single seed covering the whole prefix read[0:e].
+				f := int32(0)
+				if e <= maxNeed {
+					f = counts[e-1]
+				}
+				row(1)[v] = f
+				cells++
+				continue
+			}
+			prev := row(j - 1)
+			best, bestU := inf, 0
+			for u := 0; u <= v; u++ {
+				if prev[u] == inf {
+					continue
+				}
+				// Seed read[(j-1)*smin+u : e] has length smin+v-u.
+				f := counts[smin+v-u-1]
+				if c := prev[u] + f; c < best {
+					best, bestU = c, u
+				}
+				cells++
+			}
+			row(j)[v] = best
+			bt[(j-2)*(w+1)+v] = uint16(bestU)
+		}
+	}
+
+	// Backtrack from the full read.
+	ends := make([]int, parts+1)
+	ends[parts] = n
+	v := w
+	for j := parts; j >= 2; j-- {
+		u := int(bt[(j-2)*(w+1)+v])
+		ends[j-1] = (j-1)*smin + u
+		v = u
+	}
+	ends[0] = 0
+
+	seeds := make([]Seed, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi, st := searchSeed(ix, read, ends[i], ends[i+1])
+		walker.fmSteps += st
+		seeds[i] = Seed{Start: ends[i], End: ends[i+1], Lo: lo, Hi: hi}
+	}
+
+	sel.Seeds = seeds
+	sel.TotalCandidates = totalOf(seeds)
+	sel.FMSteps = walker.fmSteps
+	sel.DPCells = cells
+	sel.PeakMemBytes = len(opt)*4 + len(bt)*2 + len(counts)*4
+	return sel, nil
+}

@@ -1,0 +1,108 @@
+package seed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fmindex"
+)
+
+// sharedIndex builds one moderate index reused by the quick properties.
+var sharedIx *fmindex.Index
+var sharedText []byte
+
+func propIndex() *fmindex.Index {
+	if sharedIx == nil {
+		rng := rand.New(rand.NewSource(1234))
+		sharedText = repetitiveText(rng, 20_000)
+		sharedIx = fmindex.Build(sharedText, fmindex.Options{})
+	}
+	return sharedIx
+}
+
+func TestREPUTEPartitionProperty(t *testing.T) {
+	ix := propIndex()
+	f := func(posRaw uint16, lenRaw, errRaw, sminRaw uint8) bool {
+		n := 30 + int(lenRaw)%120
+		pos := int(posRaw) % (len(sharedText) - n)
+		read := sharedText[pos : pos+n]
+		errors := 1 + int(errRaw)%6
+		smin := 2 + int(sminRaw)%14
+		if (errors+1)*smin > n {
+			return true // infeasible inputs are rejected elsewhere
+		}
+		sel, err := (REPUTE{}).Select(ix, read, Params{Errors: errors, MinSeedLen: smin})
+		if err != nil {
+			return false
+		}
+		// Partition invariants: δ+1 seeds, contiguous, covering, >= smin,
+		// counts match the index.
+		if len(sel.Seeds) != errors+1 {
+			return false
+		}
+		at := 0
+		total := 0
+		for _, s := range sel.Seeds {
+			if s.Start != at || s.Len() < smin {
+				return false
+			}
+			at = s.End
+			if got := ix.Count(read[s.Start:s.End]); got != s.Count() {
+				return false
+			}
+			total += s.Count()
+		}
+		return at == n && total == sel.TotalCandidates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCORALPartitionProperty(t *testing.T) {
+	ix := propIndex()
+	f := func(posRaw uint16, lenRaw, errRaw uint8) bool {
+		n := 30 + int(lenRaw)%120
+		pos := int(posRaw) % (len(sharedText) - n)
+		read := sharedText[pos : pos+n]
+		errors := 1 + int(errRaw)%6
+		if errors+1 > n {
+			return true
+		}
+		sel, err := (CORAL{}).Select(ix, read, Params{Errors: errors, MinSeedLen: 8})
+		if err != nil {
+			return false
+		}
+		at := 0
+		for _, s := range sel.Seeds {
+			if s.Start != at || s.End <= s.Start {
+				return false
+			}
+			at = s.End
+		}
+		return at == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPPeakMemMonotoneInWindow(t *testing.T) {
+	// Smaller Smin → larger window → more kernel memory, for both DP
+	// selectors; serial strategies stay constant.
+	prevRep := 0
+	for smin := 20; smin >= 8; smin -= 2 {
+		rep := DPPeakMem(150, 5, smin, REPUTE{})
+		if rep < prevRep {
+			t.Errorf("smin %d: REPUTE mem %d below larger-smin %d", smin, rep, prevRep)
+		}
+		prevRep = rep
+	}
+	if oss := DPPeakMem(150, 5, 1, OSS{}); oss <= DPPeakMem(150, 5, 8, REPUTE{}) {
+		t.Errorf("OSS mem %d not above windowed REPUTE", oss)
+	}
+	if c := DPPeakMem(150, 5, 8, CORAL{}); c != DPPeakMem(150, 5, 20, CORAL{}) {
+		t.Error("CORAL mem should not depend on smin")
+	}
+}

@@ -1,0 +1,352 @@
+// Package simulate generates the synthetic workloads that stand in for
+// the paper's data: chromosome 21 of GRCh38 becomes a configurable
+// reference with explicit repeat structure and GC bias, and the NCBI read
+// sets ERR012100_1 (length 100) and SRR826460_1 (length 150) become
+// error-profiled read samplers with ground-truth origins.
+//
+// What matters to filtration behaviour is the k-mer frequency spectrum of
+// the reference (how repetitive seeds are) and the per-read error load;
+// both are explicit knobs here, which DESIGN.md documents as the data
+// substitution.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dna"
+)
+
+// RefConfig controls synthetic reference generation.
+type RefConfig struct {
+	Length int
+	Seed   int64
+	// GC is the target G+C fraction of the random backbone (0..1);
+	// 0 means the human-like default of 0.41.
+	GC float64
+	// RepeatFraction is the fraction of the final sequence covered by
+	// copies of repeat motifs (human chr21 is roughly half repetitive);
+	// 0 disables repeats, negative values also disable them.
+	RepeatFraction float64
+	// RepeatMinLen/RepeatMaxLen bound motif lengths (defaults 150/800,
+	// spanning SINE- to LINE-like scales at reduced size).
+	RepeatMinLen, RepeatMaxLen int
+	// RepeatDivergence is the per-base substitution probability applied
+	// to each placed repeat copy (default 0.02).
+	RepeatDivergence float64
+	// HighCopyFraction covers this fraction of the genome with a few
+	// SINE/Alu-like families: one motif copied many times with low
+	// divergence. These are what make reads multi-map to dozens of
+	// locations, the regime that separates all-mappers from best-mappers
+	// under the §III-A metric. 0 disables; negative also disables.
+	HighCopyFraction float64
+	// HighCopyMotifLen is the family motif length (default 300).
+	HighCopyMotifLen int
+	// HighCopyDivergence is the per-base mutation rate of family copies
+	// (default 0.01, keeping copies within typical error budgets).
+	HighCopyDivergence float64
+}
+
+func (c RefConfig) withDefaults() RefConfig {
+	if c.GC == 0 {
+		c.GC = 0.41
+	}
+	if c.RepeatMinLen == 0 {
+		c.RepeatMinLen = 150
+	}
+	if c.RepeatMaxLen == 0 {
+		c.RepeatMaxLen = 800
+	}
+	if c.RepeatDivergence == 0 {
+		c.RepeatDivergence = 0.02
+	}
+	if c.HighCopyMotifLen == 0 {
+		c.HighCopyMotifLen = 200
+	}
+	if c.HighCopyDivergence == 0 {
+		c.HighCopyDivergence = 0.005
+	}
+	return c
+}
+
+// Chr21Like returns the configuration used throughout the experiments as
+// the chromosome-21 stand-in at the given scale (chr21 itself is about
+// 46.7 Mbp; the default experiment scale is much smaller).
+func Chr21Like(length int, seed int64) RefConfig {
+	return RefConfig{
+		Length:           length,
+		Seed:             seed,
+		GC:               0.41,
+		RepeatFraction:   0.25,
+		HighCopyFraction: 0.30,
+	}
+}
+
+// Reference generates a synthetic reference as base codes.
+func Reference(cfg RefConfig) []byte {
+	cfg = cfg.withDefaults()
+	if cfg.Length <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ref := make([]byte, cfg.Length)
+	for i := range ref {
+		ref[i] = randBase(rng, cfg.GC)
+	}
+	placeModerate(rng, ref, cfg)
+	// High-copy families go in last so their copies stay coherent — these
+	// create the multi-mapping reads that separate all-mappers from
+	// best-mappers under the §III-A metric.
+	if cfg.HighCopyFraction > 0 {
+		covered := 0
+		target := int(float64(cfg.Length) * cfg.HighCopyFraction)
+		families := 3
+		for f := 0; f < families && cfg.HighCopyMotifLen*4 < cfg.Length; f++ {
+			motifLen := cfg.HighCopyMotifLen
+			src := rng.Intn(cfg.Length - motifLen)
+			motif := append([]byte(nil), ref[src:src+motifLen]...)
+			// Conservation is position-dependent, as in real transposon
+			// families (conserved functional cores, fast-decaying
+			// flanks): per-position mutation-rate multipliers make some
+			// k-mers of the family near-unique and others ubiquitous —
+			// the frequency landscape optimal seed placement exploits.
+			profile := make([]float64, motifLen)
+			for i := range profile {
+				profile[i] = rng.ExpFloat64() * 2
+			}
+			for covered < target*(f+1)/families {
+				// Copies are frequently truncated (as 5'-truncated Alu
+				// elements are), which litters the sequence with repeat
+				// boundaries — the regime where optimal seed placement
+				// beats serial heuristics.
+				cpLen := motifLen
+				if rng.Intn(2) == 0 {
+					cpLen = motifLen*2/5 + rng.Intn(motifLen*3/5)
+				}
+				cp := motif[motifLen-cpLen:]
+				dst := rng.Intn(cfg.Length - cpLen)
+				// Each copy has an age: older copies diverged further,
+				// so read-to-copy distances spread into strata the way
+				// real transposon families do.
+				age := rng.Float64() * 2 * cfg.HighCopyDivergence
+				prof := profile[motifLen-cpLen:]
+				for i, c := range cp {
+					if rng.Float64() < age*prof[i] {
+						c = mutateBase(rng, c)
+					}
+					ref[dst+i] = c
+				}
+				covered += cpLen
+			}
+		}
+	}
+	return ref
+}
+
+// placeModerate scatters medium-copy-number repeat motifs until the
+// configured fraction of the sequence is covered.
+func placeModerate(rng *rand.Rand, ref []byte, cfg RefConfig) {
+	if cfg.RepeatFraction <= 0 {
+		return
+	}
+	covered := 0
+	target := int(float64(cfg.Length) * cfg.RepeatFraction)
+	for covered < target {
+		motifLen := cfg.RepeatMinLen + rng.Intn(cfg.RepeatMaxLen-cfg.RepeatMinLen+1)
+		if motifLen > cfg.Length/4 {
+			motifLen = cfg.Length / 4
+		}
+		if motifLen < 10 {
+			break
+		}
+		src := rng.Intn(cfg.Length - motifLen)
+		motif := append([]byte(nil), ref[src:src+motifLen]...)
+		copies := 2 + rng.Intn(8)
+		for k := 0; k < copies && covered < target; k++ {
+			dst := rng.Intn(cfg.Length - motifLen)
+			for i, c := range motif {
+				if rng.Float64() < cfg.RepeatDivergence {
+					c = mutateBase(rng, c)
+				}
+				ref[dst+i] = c
+			}
+			covered += motifLen
+		}
+	}
+}
+
+func randBase(rng *rand.Rand, gc float64) byte {
+	if rng.Float64() < gc {
+		if rng.Intn(2) == 0 {
+			return dna.C
+		}
+		return dna.G
+	}
+	if rng.Intn(2) == 0 {
+		return dna.A
+	}
+	return dna.T
+}
+
+func mutateBase(rng *rand.Rand, c byte) byte {
+	return (c + 1 + byte(rng.Intn(3))) % 4
+}
+
+// ReadProfile describes a sequencing error model.
+type ReadProfile struct {
+	Name    string
+	Length  int
+	SubRate float64 // per-base substitution probability
+	InsRate float64 // per-base insertion probability
+	DelRate float64 // per-base deletion probability
+}
+
+// The two dataset stand-ins used across the experiments. Rates are
+// Illumina-like; ERR012100_1 is an older GAII run (higher error),
+// SRR826460_1 a HiSeq run with longer reads.
+var (
+	ERR012100 = ReadProfile{Name: "ERR012100_1", Length: 100, SubRate: 0.012, InsRate: 0.0008, DelRate: 0.0008}
+	SRR826460 = ReadProfile{Name: "SRR826460_1", Length: 150, SubRate: 0.009, InsRate: 0.0006, DelRate: 0.0006}
+)
+
+// Origin records where a simulated read was sampled from — the ground
+// truth used by sensitivity tests (the paper's accuracy metric instead
+// compares against the RazerS3 gold standard, as internal/eval does).
+type Origin struct {
+	Pos    int32 // leftmost reference position of the sampled window
+	Strand byte  // '+' or '-'
+	Edits  uint8 // number of errors introduced
+}
+
+// ReadSet is a simulated workload with ground truth.
+type ReadSet struct {
+	Profile ReadProfile
+	Reads   [][]byte // base codes, each Profile.Length long
+	Origins []Origin
+}
+
+// Reads samples n reads from ref under the profile. Errors are introduced
+// per base; indels shift the sampled window so every read has exactly
+// Profile.Length bases, as real reads do.
+func Reads(ref []byte, n int, prof ReadProfile, seed int64) (ReadSet, error) {
+	margin := prof.Length + prof.Length/4 + 8
+	if len(ref) < margin {
+		return ReadSet{}, fmt.Errorf("simulate: reference length %d too short for %d-bp reads",
+			len(ref), prof.Length)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	set := ReadSet{
+		Profile: prof,
+		Reads:   make([][]byte, 0, n),
+		Origins: make([]Origin, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(ref) - margin)
+		window := ref[pos : pos+margin]
+		read, edits := applyErrors(rng, window, prof)
+		strand := byte('+')
+		if rng.Intn(2) == 1 {
+			strand = '-'
+			read = dna.ReverseComplement(read)
+		}
+		set.Reads = append(set.Reads, read)
+		set.Origins = append(set.Origins, Origin{Pos: int32(pos), Strand: strand, Edits: edits})
+	}
+	return set, nil
+}
+
+// PairOrigin is the ground truth of one simulated fragment.
+type PairOrigin struct {
+	// Pos1/Pos2 are the leftmost reference positions of the two mates;
+	// Strand1/Strand2 their strands (always opposite, FR orientation).
+	Pos1, Pos2       int32
+	Strand1, Strand2 byte
+	Insert           int32
+	Edits1, Edits2   uint8
+}
+
+// PairSet is a simulated paired-end workload.
+type PairSet struct {
+	Profile ReadProfile
+	Reads1  [][]byte
+	Reads2  [][]byte
+	Origins []PairOrigin
+}
+
+// PairedReads samples n FR fragments: mate 1 reads the fragment start on
+// one strand, mate 2 the fragment end on the other, with the insert
+// length normal(insertMean, insertSD) clamped to at least 2×read length.
+func PairedReads(ref []byte, n int, prof ReadProfile, insertMean, insertSD float64, seed int64) (PairSet, error) {
+	minInsert := 2 * prof.Length
+	margin := int(insertMean+4*insertSD) + prof.Length
+	if len(ref) < margin+8 {
+		return PairSet{}, fmt.Errorf("simulate: reference length %d too short for inserts ~%.0f",
+			len(ref), insertMean)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	set := PairSet{Profile: prof}
+	for i := 0; i < n; i++ {
+		insert := int(insertMean + rng.NormFloat64()*insertSD)
+		if insert < minInsert {
+			insert = minInsert
+		}
+		pos := rng.Intn(len(ref) - insert - prof.Length/4 - 8)
+		w1 := ref[pos : pos+prof.Length+prof.Length/4+8]
+		r1, e1 := applyErrors(rng, w1, prof)
+		// Mate 2 reads the fragment end inward: simulate from the
+		// reverse complement of the window's tail.
+		tail := dna.ReverseComplement(ref[pos+insert-prof.Length-prof.Length/8-4 : pos+insert])
+		r2, e2 := applyErrors(rng, tail, prof)
+
+		o := PairOrigin{
+			Pos1: int32(pos), Strand1: '+',
+			Pos2: int32(pos + insert - prof.Length), Strand2: '-',
+			Insert: int32(insert),
+			Edits1: e1, Edits2: e2,
+		}
+		// Half the fragments come from the other genomic strand, where
+		// the sequencer's "read 1" is the reverse-strand mate: the roles
+		// swap, the sequences themselves are already correct.
+		if rng.Intn(2) == 1 {
+			r1, r2 = r2, r1
+			o.Pos1, o.Pos2 = o.Pos2, o.Pos1
+			o.Strand1, o.Strand2 = '-', '+'
+			o.Edits1, o.Edits2 = o.Edits2, o.Edits1
+		}
+		set.Reads1 = append(set.Reads1, r1)
+		set.Reads2 = append(set.Reads2, r2)
+		set.Origins = append(set.Origins, o)
+	}
+	return set, nil
+}
+
+// applyErrors copies exactly prof.Length bases out of window, injecting
+// substitutions, insertions and deletions at the profile rates.
+func applyErrors(rng *rand.Rand, window []byte, prof ReadProfile) ([]byte, uint8) {
+	out := make([]byte, 0, prof.Length)
+	var edits uint8
+	src := 0
+	for len(out) < prof.Length && src < len(window) {
+		r := rng.Float64()
+		switch {
+		case r < prof.InsRate:
+			out = append(out, byte(rng.Intn(4)))
+			edits++
+		case r < prof.InsRate+prof.DelRate:
+			src++ // skip a reference base
+			edits++
+		case r < prof.InsRate+prof.DelRate+prof.SubRate:
+			out = append(out, mutateBase(rng, window[src]))
+			src++
+			edits++
+		default:
+			out = append(out, window[src])
+			src++
+		}
+	}
+	for len(out) < prof.Length {
+		out = append(out, byte(rng.Intn(4)))
+		edits++
+	}
+	return out, edits
+}

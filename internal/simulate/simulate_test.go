@@ -1,0 +1,278 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestReferenceLengthAndAlphabet(t *testing.T) {
+	ref := Reference(RefConfig{Length: 10_000, Seed: 1})
+	if len(ref) != 10_000 {
+		t.Fatalf("length %d want 10000", len(ref))
+	}
+	for i, c := range ref {
+		if c > 3 {
+			t.Fatalf("invalid code %d at %d", c, i)
+		}
+	}
+}
+
+func TestReferenceDeterministic(t *testing.T) {
+	a := Reference(Chr21Like(5000, 42))
+	b := Reference(Chr21Like(5000, 42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Reference(Chr21Like(5000, 43))
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical references")
+	}
+}
+
+func TestReferenceGCBias(t *testing.T) {
+	for _, gc := range []float64{0.3, 0.5, 0.7} {
+		ref := Reference(RefConfig{Length: 200_000, Seed: 7, GC: gc, RepeatFraction: -1})
+		got := dna.GCContent(ref)
+		if math.Abs(got-gc) > 0.02 {
+			t.Errorf("GC target %v got %v", gc, got)
+		}
+	}
+}
+
+func TestReferenceRepeatsIncreaseKmerFrequency(t *testing.T) {
+	// A repetitive reference must have more duplicated 16-mers than an
+	// iid one of the same length.
+	count := func(ref []byte) int {
+		seen := map[string]int{}
+		for i := 0; i+16 <= len(ref); i += 4 {
+			seen[string(ref[i:i+16])]++
+		}
+		dup := 0
+		for _, c := range seen {
+			if c > 1 {
+				dup += c
+			}
+		}
+		return dup
+	}
+	flat := Reference(RefConfig{Length: 100_000, Seed: 3, RepeatFraction: -1})
+	repetitive := Reference(RefConfig{Length: 100_000, Seed: 3, RepeatFraction: 0.5})
+	if count(repetitive) <= count(flat)*2 {
+		t.Errorf("repeats did not raise duplication: flat %d repetitive %d",
+			count(flat), count(repetitive))
+	}
+}
+
+func TestReferenceEmpty(t *testing.T) {
+	if ref := Reference(RefConfig{Length: 0}); len(ref) != 0 {
+		t.Errorf("zero length produced %d bases", len(ref))
+	}
+}
+
+func TestReadsBasic(t *testing.T) {
+	ref := Reference(Chr21Like(50_000, 1))
+	set, err := Reads(ref, 500, ERR012100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Reads) != 500 || len(set.Origins) != 500 {
+		t.Fatalf("got %d reads / %d origins", len(set.Reads), len(set.Origins))
+	}
+	plus, minus := 0, 0
+	for i, r := range set.Reads {
+		if len(r) != 100 {
+			t.Fatalf("read %d length %d want 100", i, len(r))
+		}
+		o := set.Origins[i]
+		switch o.Strand {
+		case '+':
+			plus++
+		case '-':
+			minus++
+		default:
+			t.Fatalf("read %d bad strand %q", i, o.Strand)
+		}
+		if int(o.Pos) < 0 || int(o.Pos) >= len(ref) {
+			t.Fatalf("read %d origin %d out of range", i, o.Pos)
+		}
+	}
+	if plus == 0 || minus == 0 {
+		t.Errorf("strand balance broken: %d+/%d-", plus, minus)
+	}
+}
+
+func TestReadsMatchOriginWithinEditBudget(t *testing.T) {
+	// A simulated read must align back to its origin window with edit
+	// distance <= recorded Edits (checked by naive DP on the window).
+	ref := Reference(Chr21Like(30_000, 9))
+	set, err := Reads(ref, 100, SRR826460, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range set.Reads {
+		o := set.Origins[i]
+		read := r
+		if o.Strand == '-' {
+			read = dna.ReverseComplement(r)
+		}
+		wEnd := int(o.Pos) + len(read) + int(o.Edits) + 2
+		if wEnd > len(ref) {
+			wEnd = len(ref)
+		}
+		window := ref[o.Pos:wEnd]
+		if d := editDistancePrefix(read, window); d > int(o.Edits) {
+			t.Fatalf("read %d: distance %d > recorded edits %d", i, d, o.Edits)
+		}
+	}
+}
+
+// editDistancePrefix returns min edit distance of p against any prefix of w.
+func editDistancePrefix(p, w []byte) int {
+	prev := make([]int, len(w)+1)
+	cur := make([]int, len(w)+1)
+	for i := 1; i <= len(p); i++ {
+		cur[0] = i
+		for j := 1; j <= len(w); j++ {
+			cost := 1
+			if p[i-1] == w[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if prev[j]+1 < best {
+				best = prev[j] + 1
+			}
+			if cur[j-1]+1 < best {
+				best = cur[j-1] + 1
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	min := prev[0]
+	for _, v := range prev {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func TestReadsErrorRateMatchesProfile(t *testing.T) {
+	ref := Reference(RefConfig{Length: 100_000, Seed: 4, RepeatFraction: -1})
+	prof := ReadProfile{Name: "test", Length: 100, SubRate: 0.02}
+	set, err := Reads(ref, 2000, prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalEdits := 0
+	for _, o := range set.Origins {
+		totalEdits += int(o.Edits)
+	}
+	perBase := float64(totalEdits) / float64(2000*100)
+	if math.Abs(perBase-0.02) > 0.004 {
+		t.Errorf("observed error rate %v want ~0.02", perBase)
+	}
+}
+
+func TestPairedReadsGeometry(t *testing.T) {
+	ref := Reference(Chr21Like(60_000, 12))
+	set, err := PairedReads(ref, 300, ERR012100, 420, 40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Reads1) != 300 || len(set.Reads2) != 300 || len(set.Origins) != 300 {
+		t.Fatalf("set sizes %d/%d/%d", len(set.Reads1), len(set.Reads2), len(set.Origins))
+	}
+	swapped := 0
+	for i, o := range set.Origins {
+		if len(set.Reads1[i]) != 100 || len(set.Reads2[i]) != 100 {
+			t.Fatalf("fragment %d: read lengths %d/%d", i, len(set.Reads1[i]), len(set.Reads2[i]))
+		}
+		if o.Strand1 == o.Strand2 {
+			t.Fatalf("fragment %d: same strands", i)
+		}
+		if o.Insert < 200 || o.Insert > 700 {
+			t.Fatalf("fragment %d: insert %d outside plausible band", i, o.Insert)
+		}
+		// The forward mate must be the leftmost one.
+		fwdPos, revPos := o.Pos1, o.Pos2
+		if o.Strand1 == '-' {
+			fwdPos, revPos = o.Pos2, o.Pos1
+			swapped++
+		}
+		if fwdPos > revPos {
+			t.Fatalf("fragment %d: forward mate at %d right of reverse at %d", i, fwdPos, revPos)
+		}
+		if got := revPos + 100 - fwdPos; got != o.Insert {
+			t.Fatalf("fragment %d: geometry says insert %d, origin says %d", i, got, o.Insert)
+		}
+	}
+	if swapped == 0 || swapped == 300 {
+		t.Errorf("strand balance broken: %d/300 swapped", swapped)
+	}
+}
+
+func TestPairedReadsMatchOrigins(t *testing.T) {
+	// Each mate must align near its origin within its edit budget.
+	ref := Reference(Chr21Like(50_000, 15))
+	set, err := PairedReads(ref, 60, ERR012100, 400, 30, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(read []byte, pos int32, strand byte, edits uint8) bool {
+		r := read
+		if strand == '-' {
+			r = dna.ReverseComplement(read)
+		}
+		end := int(pos) + len(r) + int(edits) + 4
+		if end > len(ref) {
+			end = len(ref)
+		}
+		start := int(pos) - int(edits) - 4
+		if start < 0 {
+			start = 0
+		}
+		return editDistancePrefix(r, ref[start:end]) <= int(edits)+2
+	}
+	for i, o := range set.Origins {
+		if !check(set.Reads1[i], o.Pos1, o.Strand1, o.Edits1) {
+			t.Fatalf("fragment %d mate 1 does not align at its origin", i)
+		}
+		if !check(set.Reads2[i], o.Pos2, o.Strand2, o.Edits2) {
+			t.Fatalf("fragment %d mate 2 does not align at its origin", i)
+		}
+	}
+}
+
+func TestPairedReadsRefTooShort(t *testing.T) {
+	if _, err := PairedReads(make([]byte, 300), 5, ERR012100, 400, 30, 1); err == nil {
+		t.Error("short reference accepted for paired reads")
+	}
+}
+
+func TestReadsRefTooShort(t *testing.T) {
+	if _, err := Reads(make([]byte, 50), 10, ERR012100, 1); err == nil {
+		t.Error("short reference accepted")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []ReadProfile{ERR012100, SRR826460} {
+		if p.Length <= 0 || p.SubRate <= 0 || p.Name == "" {
+			t.Errorf("profile %+v not sane", p)
+		}
+	}
+	if ERR012100.Length != 100 || SRR826460.Length != 150 {
+		t.Error("profile lengths do not match the paper's datasets")
+	}
+}

@@ -1,0 +1,275 @@
+// Package suffix builds suffix arrays with the SA-IS algorithm (Nong,
+// Zhang & Chan, "Two Efficient Algorithms for Linear Time Suffix Array
+// Construction", 2011). SA-IS runs in O(n) time and is the standard
+// construction used by read-mapping preprocessing stages; the FM-index in
+// internal/fmindex is built from its output.
+package suffix
+
+// Build returns the suffix array of text: a permutation sa of 0..len(text)-1
+// such that the suffixes text[sa[0]:], text[sa[1]:], ... are in increasing
+// lexicographic order. text holds base codes (or any small-alphabet bytes);
+// it is not modified. The virtual sentinel smaller than every symbol is
+// handled internally and does not appear in the result.
+func Build(text []byte) []int32 {
+	n := len(text)
+	if n == 0 {
+		return []int32{}
+	}
+	if n == 1 {
+		return []int32{0}
+	}
+	// Shift symbols up by one so 0 is free for the sentinel, append it.
+	s := make([]int32, n+1)
+	maxSym := int32(0)
+	for i, b := range text {
+		s[i] = int32(b) + 1
+		if s[i] > maxSym {
+			maxSym = s[i]
+		}
+	}
+	s[n] = 0
+	sa := make([]int32, n+1)
+	sais(s, sa, int(maxSym)+1)
+	// sa[0] is the sentinel suffix; drop it.
+	out := make([]int32, n)
+	copy(out, sa[1:])
+	return out
+}
+
+const (
+	lType = false
+	sType = true
+)
+
+// sais computes the suffix array of s into sa. s must end with a unique
+// smallest symbol (the sentinel) and all symbols must lie in [0, k).
+func sais(s, sa []int32, k int) {
+	n := len(s)
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+	// Classify each position as S-type or L-type.
+	t := make([]bool, n)
+	t[n-1] = sType
+	for i := n - 2; i >= 0; i-- {
+		switch {
+		case s[i] < s[i+1]:
+			t[i] = sType
+		case s[i] > s[i+1]:
+			t[i] = lType
+		default:
+			t[i] = t[i+1]
+		}
+	}
+	isLMS := func(i int) bool { return i > 0 && t[i] == sType && t[i-1] == lType }
+
+	bkt := make([]int32, k)
+	bucketCounts := func() {
+		for i := range bkt {
+			bkt[i] = 0
+		}
+		for _, c := range s {
+			bkt[c]++
+		}
+	}
+	bucketTails := func() {
+		sum := int32(0)
+		for i := range bkt {
+			sum += bkt[i]
+			bkt[i] = sum
+		}
+	}
+	bucketHeads := func() {
+		sum := int32(0)
+		for i := range bkt {
+			c := bkt[i]
+			bkt[i] = sum
+			sum += c
+		}
+	}
+
+	const empty = int32(-1)
+
+	// induceSort sorts all suffixes given the LMS suffixes already placed
+	// in sa (everything else must be empty).
+	induce := func() {
+		// Induce L-type suffixes left to right from bucket heads.
+		bucketCounts()
+		bucketHeads()
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if t[j-1] == lType {
+				c := s[j-1]
+				sa[bkt[c]] = j - 1
+				bkt[c]++
+			}
+		}
+		// Induce S-type suffixes right to left from bucket tails.
+		bucketCounts()
+		bucketTails()
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j <= 0 {
+				continue
+			}
+			if t[j-1] == sType {
+				c := s[j-1]
+				bkt[c]--
+				sa[bkt[c]] = j - 1
+			}
+		}
+	}
+
+	// Stage 1: place LMS suffixes at bucket tails in text order, induce.
+	for i := range sa {
+		sa[i] = empty
+	}
+	bucketCounts()
+	bucketTails()
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			c := s[i]
+			bkt[c]--
+			sa[bkt[c]] = int32(i)
+		}
+	}
+	sa[0] = int32(n - 1) // the sentinel suffix sorts first
+	induce()
+
+	// Stage 2: compact the sorted LMS suffixes and name their substrings.
+	nLMS := 0
+	for i := 0; i < n; i++ {
+		if isLMS(int(sa[i])) {
+			sa[nLMS] = sa[i]
+			nLMS++
+		}
+	}
+	// Use the tail of sa as the name array (indexed by position/2).
+	names := sa[nLMS:]
+	for i := range names {
+		names[i] = empty
+	}
+	lmsEqual := func(a, b int) bool {
+		// Compare LMS substrings starting at a and b (inclusive of the
+		// next LMS position). The sentinel's LMS substring is unique.
+		if a == n-1 || b == n-1 {
+			return false
+		}
+		for d := 0; ; d++ {
+			aEnd := isLMS(a + d)
+			bEnd := isLMS(b + d)
+			if d > 0 && aEnd && bEnd {
+				return true
+			}
+			if aEnd != bEnd || s[a+d] != s[b+d] || t[a+d] != t[b+d] {
+				return false
+			}
+		}
+	}
+	name := int32(0)
+	prev := -1
+	for i := 0; i < nLMS; i++ {
+		pos := int(sa[i])
+		if prev >= 0 && !lmsEqual(prev, pos) {
+			name++
+		}
+		names[pos/2] = name
+		prev = pos
+	}
+	nNames := int(name) + 1
+
+	// Build the reduced string: names of LMS substrings in text order.
+	s1 := make([]int32, 0, nLMS)
+	lmsPos := make([]int32, 0, nLMS)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			s1 = append(s1, names[i/2])
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+
+	// Stage 3: order the LMS suffixes, recursing when names repeat.
+	sa1 := make([]int32, len(s1))
+	if nNames == len(s1) {
+		for i, nm := range s1 {
+			sa1[nm] = int32(i)
+		}
+	} else {
+		sais(s1, sa1, nNames)
+	}
+
+	// Stage 4: induce the final order from the sorted LMS suffixes.
+	for i := range sa {
+		sa[i] = empty
+	}
+	bucketCounts()
+	bucketTails()
+	for i := len(sa1) - 1; i >= 0; i-- {
+		j := lmsPos[sa1[i]]
+		c := s[j]
+		bkt[c]--
+		sa[bkt[c]] = j
+	}
+	induce()
+}
+
+// BuildNaive returns the suffix array via direct comparison sorting.
+// It is O(n^2 log n) worst case and exists as the test oracle for Build.
+func BuildNaive(text []byte) []int32 {
+	sa := make([]int32, len(text))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	// Insertion of sort.Slice here would drag in reflection on a hot loop;
+	// the oracle is only used on small inputs, so simplicity wins.
+	quickSortSuffixes(text, sa)
+	return sa
+}
+
+func quickSortSuffixes(text []byte, sa []int32) {
+	if len(sa) < 2 {
+		return
+	}
+	pivot := sa[len(sa)/2]
+	var less, eq, greater []int32
+	for _, s := range sa {
+		switch compareSuffixes(text, s, pivot) {
+		case -1:
+			less = append(less, s)
+		case 0:
+			eq = append(eq, s)
+		default:
+			greater = append(greater, s)
+		}
+	}
+	quickSortSuffixes(text, less)
+	quickSortSuffixes(text, greater)
+	copy(sa, less)
+	copy(sa[len(less):], eq)
+	copy(sa[len(less)+len(eq):], greater)
+}
+
+func compareSuffixes(text []byte, a, b int32) int {
+	if a == b {
+		return 0
+	}
+	for int(a) < len(text) && int(b) < len(text) {
+		if text[a] != text[b] {
+			if text[a] < text[b] {
+				return -1
+			}
+			return 1
+		}
+		a++
+		b++
+	}
+	// The shorter suffix (which ran out first) sorts earlier.
+	if int(a) == len(text) {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,195 @@
+package suffix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func suffixLess(text []byte, a, b int32) bool {
+	return compareSuffixes(text, a, b) < 0
+}
+
+func checkSuffixArray(t *testing.T, text []byte, sa []int32) {
+	t.Helper()
+	if len(sa) != len(text) {
+		t.Fatalf("len(sa) = %d want %d", len(sa), len(text))
+	}
+	seen := make([]bool, len(text))
+	for _, v := range sa {
+		if v < 0 || int(v) >= len(text) {
+			t.Fatalf("sa entry %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("sa entry %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	for i := 1; i < len(sa); i++ {
+		if !suffixLess(text, sa[i-1], sa[i]) {
+			t.Fatalf("suffixes out of order at %d: %q !< %q",
+				i, text[sa[i-1]:], text[sa[i]:])
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if sa := Build(nil); len(sa) != 0 {
+		t.Errorf("Build(nil) = %v want empty", sa)
+	}
+}
+
+func TestBuildSingle(t *testing.T) {
+	sa := Build([]byte{2})
+	if len(sa) != 1 || sa[0] != 0 {
+		t.Errorf("Build single = %v want [0]", sa)
+	}
+}
+
+func TestBuildKnown(t *testing.T) {
+	// banana over codes: b=1,a=0,n=2 -> suffix array 5,3,1,0,4,2
+	text := []byte{1, 0, 2, 0, 2, 0}
+	want := []int32{5, 3, 1, 0, 4, 2}
+	got := Build(text)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Build(banana) = %v want %v", got, want)
+		}
+	}
+}
+
+func TestBuildAllSame(t *testing.T) {
+	text := bytes.Repeat([]byte{3}, 100)
+	sa := Build(text)
+	checkSuffixArray(t, text, sa)
+	// All-same text sorts shortest suffix first.
+	for i, v := range sa {
+		if int(v) != len(text)-1-i {
+			t.Fatalf("all-same sa[%d] = %d want %d", i, v, len(text)-1-i)
+		}
+	}
+}
+
+func TestBuildVsNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		alpha := 1 + rng.Intn(4)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte(rng.Intn(alpha))
+		}
+		got := Build(text)
+		want := BuildNaive(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d alpha=%d): sa[%d]=%d want %d\ntext=%v",
+					trial, n, alpha, i, got[i], want[i], text)
+			}
+		}
+	}
+}
+
+func TestBuildVsNaiveRepetitive(t *testing.T) {
+	// Highly repetitive strings stress the recursion depth of SA-IS.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		motif := make([]byte, 2+rng.Intn(5))
+		for i := range motif {
+			motif[i] = byte(rng.Intn(4))
+		}
+		text := bytes.Repeat(motif, 20+rng.Intn(30))
+		got := Build(text)
+		checkSuffixArray(t, text, got)
+	}
+}
+
+func TestBuildPropertyValidPermutationAndOrder(t *testing.T) {
+	f := func(raw []byte) bool {
+		text := make([]byte, len(raw))
+		for i, b := range raw {
+			text[i] = b & 3
+		}
+		sa := Build(text)
+		if len(sa) != len(text) {
+			return false
+		}
+		seen := make([]bool, len(text))
+		for _, v := range sa {
+			if v < 0 || int(v) >= len(text) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for i := 1; i < len(sa); i++ {
+			if !suffixLess(text, sa[i-1], sa[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildAdversarialStructures(t *testing.T) {
+	// Structures known to stress suffix-array construction: Fibonacci
+	// strings (maximal repetition structure), long unary runs with a
+	// trailing change, alternating patterns, and nested squares.
+	fib := func(n int) []byte {
+		a, b := []byte{1}, []byte{1, 0}
+		for len(b) < n {
+			a, b = b, append(append([]byte{}, b...), a...)
+		}
+		return b[:n]
+	}
+	var cases [][]byte
+	cases = append(cases, fib(377))
+	run := bytes.Repeat([]byte{2}, 200)
+	cases = append(cases, append(append([]byte{}, run...), 0))
+	cases = append(cases, append([]byte{0}, run...))
+	alt := make([]byte, 301)
+	for i := range alt {
+		alt[i] = byte(i % 2)
+	}
+	cases = append(cases, alt)
+	sq := bytes.Repeat([]byte{0, 1, 0, 1, 2, 0, 1, 0, 1, 2, 3}, 30)
+	cases = append(cases, sq)
+	for i, text := range cases {
+		got := Build(text)
+		want := BuildNaive(text)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("case %d: sa[%d] = %d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBuildLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input in -short mode")
+	}
+	rng := rand.New(rand.NewSource(3))
+	text := make([]byte, 200_000)
+	for i := range text {
+		text[i] = byte(rng.Intn(4))
+	}
+	sa := Build(text)
+	checkSuffixArray(t, text, sa)
+}
+
+func BenchmarkBuild1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	text := make([]byte, 1_000_000)
+	for i := range text {
+		text[i] = byte(rng.Intn(4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(text)
+	}
+	b.SetBytes(int64(len(text)))
+}
