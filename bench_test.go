@@ -6,7 +6,9 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cl"
@@ -180,6 +182,38 @@ func benchPipelineLocate(b *testing.B, rate int) {
 		b.ReportMetric(res.SimSeconds, "sim-s/op")
 	}
 	b.ReportMetric(float64(ix.SizeBytes()), "index-bytes")
+}
+
+// BenchmarkHostParallelSpeedup measures the *wall-clock* (not simulated)
+// time of Pipeline.Map under the work-group scheduler at GOMAXPROCS 1 vs
+// NumCPU, reporting the ratio. Simulated seconds are identical in both
+// runs — only the host gets faster.
+func BenchmarkHostParallelSpeedup(b *testing.B) {
+	ds := dataset(b)
+	ix := fmindex.Build(ds.Ref, fmindex.Options{})
+	p, err := core.NewFromIndex(ix, []*cl.Device{cl.SystemOneCPU()}, core.Config{Exec: cl.Parallel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads := ds.Sets[100].Reads
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+	wallClock := func(procs, iters int) float64 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.Map(reads, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds() / float64(iters)
+	}
+	b.ResetTimer()
+	parallel := wallClock(runtime.NumCPU(), b.N)
+	serial := wallClock(1, b.N)
+	b.StopTimer()
+	b.ReportMetric(serial/parallel, "speedup")
+	b.ReportMetric(parallel*1e3, "wall-ms/map")
 }
 
 // BenchmarkAblationVerifyMyers vs ...Banded: the verification kernel

@@ -235,12 +235,26 @@ func (wi *WorkItem) Charge(c Cost) { wi.cost.Add(c) }
 // declaration the occupancy model needs. Bodies must not allocate output
 // space dynamically — OpenCL 1.2 kernels cannot, so outputs go through
 // fixed slots prepared by the host.
+//
+// A kernel body may run on several host workers at once (see ExecMode),
+// so it must not capture mutable scratch from its enclosing scope. All
+// per-item working memory — reusable buffers, candidate lists, verifier
+// state — belongs in the value returned by NewState, which mirrors
+// OpenCL private/local memory: each host worker gets its own instance
+// and passes it to every Body invocation it executes. Bodies may still
+// write to disjoint per-item output slots (out[wi.Global]) and read
+// shared immutable inputs, exactly like a real __global buffer.
 type Kernel struct {
 	Name string
 	// PrivateBytesPerItem declares the kernel's private working set; it
 	// throttles GPU occupancy and is validated against nothing else.
 	PrivateBytesPerItem int64
-	Body                func(wi *WorkItem)
+	// NewState builds one worker's private state. It is called once per
+	// host worker per enqueue (once total under Serial execution) and
+	// the result is threaded through every Body call on that worker.
+	// nil means the kernel is stateless and Body receives nil.
+	NewState func() any
+	Body     func(wi *WorkItem, state any)
 }
 
 // Event records one completed ND-range execution.
@@ -252,43 +266,53 @@ type Event struct {
 }
 
 // Queue issues work to one device. Enqueued ranges execute immediately
-// (in-order queue); Finish aggregates their simulated timing.
+// (in-order queue); Finish aggregates their simulated timing. A queue is
+// owned by one host goroutine — the work-group scheduler parallelises
+// *inside* an enqueue, and multi-device hosts use one queue per device.
 type Queue struct {
 	dev    *Device
 	events []Event
+	mode   ExecMode
+	// Running totals over events, maintained on append so Finish and
+	// EnergyJ are O(1) however often the host polls them per batch.
+	busyTotal float64
+	costTotal Cost
 }
 
-// NewQueue creates an in-order queue on dev.
+// NewQueue creates an in-order queue on dev using the package default
+// execution mode.
 func NewQueue(dev *Device) *Queue { return &Queue{dev: dev} }
 
 // Device returns the queue's device.
 func (q *Queue) Device() *Device { return q.dev }
 
+// SetExecMode pins this queue to a host execution mode; Auto (the zero
+// value) defers to the package default.
+func (q *Queue) SetExecMode(m ExecMode) { q.mode = m }
+
 // EnqueueNDRange runs kernel over globalSize work items and records the
-// event. A panic in the kernel body is converted into an error, matching
-// a CL_OUT_OF_RESOURCES-style launch failure rather than a host crash.
-func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (ev Event, err error) {
+// event. Work items are dispatched to host workers in work-groups (see
+// ExecMode); simulated cost, seconds and energy are identical to serial
+// execution by construction. A panic in any kernel body — on any worker —
+// is converted into a single error, matching a CL_OUT_OF_RESOURCES-style
+// launch failure rather than a host crash.
+func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 	if globalSize < 0 {
 		return Event{}, fmt.Errorf("cl: kernel %s: negative global size %d", k.Name, globalSize)
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("cl: kernel %s aborted: %v", k.Name, r)
-		}
-	}()
-	var total Cost
-	for g := 0; g < globalSize; g++ {
-		wi := WorkItem{Global: g}
-		k.Body(&wi)
-		total.Add(wi.cost)
+	total, err := q.mode.run(k, globalSize)
+	if err != nil {
+		return Event{}, err
 	}
-	ev = Event{
+	ev := Event{
 		Kernel:     k.Name,
 		GlobalSize: globalSize,
 		Cost:       total,
 		SimSeconds: q.dev.simSeconds(k, total),
 	}
 	q.events = append(q.events, ev)
+	q.busyTotal += ev.SimSeconds
+	q.costTotal.Add(ev.Cost)
 	return ev, nil
 }
 
@@ -312,21 +336,23 @@ func (d *Device) simSeconds(k *Kernel, c Cost) float64 {
 func (q *Queue) Events() []Event { return q.events }
 
 // Finish returns the queue's total simulated busy time and the summed
-// cost, mirroring clFinish plus profiling-event collection.
+// cost, mirroring clFinish plus profiling-event collection. The totals
+// are maintained incrementally as events append, so polling per batch
+// stays O(1) instead of re-summing the event log.
 func (q *Queue) Finish() (busySeconds float64, total Cost) {
-	for _, ev := range q.events {
-		busySeconds += ev.SimSeconds
-		total.Add(ev.Cost)
-	}
-	return busySeconds, total
+	return q.busyTotal, q.costTotal
 }
 
 // EnergyJ returns the marginal energy the queue's device spent on its
 // recorded events: busy time × device active power.
 func (q *Queue) EnergyJ() float64 {
-	busy, _ := q.Finish()
-	return busy * q.dev.PowerW
+	return q.busyTotal * q.dev.PowerW
 }
 
-// Reset clears recorded events so a queue can be reused between runs.
-func (q *Queue) Reset() { q.events = q.events[:0] }
+// Reset clears recorded events and the running totals so a queue can be
+// reused between runs.
+func (q *Queue) Reset() {
+	q.events = q.events[:0]
+	q.busyTotal = 0
+	q.costTotal = Cost{}
+}

@@ -77,17 +77,21 @@ func TestAllocExhaustsGlobalMem(t *testing.T) {
 
 func TestEnqueueRunsAllItems(t *testing.T) {
 	q := NewQueue(testDevice())
-	var seen []int
-	k := &Kernel{Name: "collect", Body: func(wi *WorkItem) {
-		seen = append(seen, wi.Global)
+	// One slot per global index: work items may run on any host worker,
+	// but each index must execute exactly once.
+	seen := make([]int32, 10)
+	k := &Kernel{Name: "collect", Body: func(wi *WorkItem, _ any) {
+		seen[wi.Global]++
 		wi.Charge(Cost{Items: 1})
 	}}
 	ev, err := q.EnqueueNDRange(k, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(seen) != 10 || seen[0] != 0 || seen[9] != 9 {
-		t.Errorf("work items = %v", seen)
+	for g, n := range seen {
+		if n != 1 {
+			t.Errorf("work item %d ran %d times", g, n)
+		}
 	}
 	if ev.Cost.Items != 10 {
 		t.Errorf("cost items = %d want 10", ev.Cost.Items)
@@ -101,7 +105,7 @@ func TestSimTimeScalesWithWork(t *testing.T) {
 	dev := testDevice()
 	q := NewQueue(dev)
 	mk := func(steps int64) *Kernel {
-		return &Kernel{Name: "work", Body: func(wi *WorkItem) {
+		return &Kernel{Name: "work", Body: func(wi *WorkItem, _ any) {
 			wi.Charge(Cost{FMSteps: steps})
 		}}
 	}
@@ -113,7 +117,7 @@ func TestSimTimeScalesWithWork(t *testing.T) {
 }
 
 func TestSimTimeScalesWithParallelism(t *testing.T) {
-	k := &Kernel{Name: "w", Body: func(wi *WorkItem) { wi.Charge(Cost{DPCells: 1000}) }}
+	k := &Kernel{Name: "w", Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{DPCells: 1000}) }}
 	d1 := testDevice()
 	d2 := testDevice()
 	d2.ComputeUnits = 8
@@ -139,9 +143,9 @@ func TestOccupancyThrottling(t *testing.T) {
 		t.Errorf("Occupancy(huge) = %d want 1", got)
 	}
 	fat := &Kernel{Name: "fat", PrivateBytesPerItem: 512,
-		Body: func(wi *WorkItem) { wi.Charge(Cost{DPCells: 100}) }}
+		Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{DPCells: 100}) }}
 	thin := &Kernel{Name: "thin", PrivateBytesPerItem: 64,
-		Body: func(wi *WorkItem) { wi.Charge(Cost{DPCells: 100}) }}
+		Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{DPCells: 100}) }}
 	q := NewQueue(dev)
 	evFat, _ := q.EnqueueNDRange(fat, 1000)
 	evThin, _ := q.EnqueueNDRange(thin, 1000)
@@ -153,7 +157,7 @@ func TestOccupancyThrottling(t *testing.T) {
 
 func TestKernelPanicBecomesError(t *testing.T) {
 	q := NewQueue(testDevice())
-	k := &Kernel{Name: "boom", Body: func(wi *WorkItem) {
+	k := &Kernel{Name: "boom", Body: func(wi *WorkItem, _ any) {
 		if wi.Global == 3 {
 			panic("kernel fault")
 		}
@@ -169,7 +173,7 @@ func TestKernelPanicBecomesError(t *testing.T) {
 func TestFinishAggregatesAndEnergy(t *testing.T) {
 	dev := testDevice()
 	q := NewQueue(dev)
-	k := &Kernel{Name: "w", Body: func(wi *WorkItem) { wi.Charge(Cost{FMSteps: 10}) }}
+	k := &Kernel{Name: "w", Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{FMSteps: 10}) }}
 	q.EnqueueNDRange(k, 100)
 	q.EnqueueNDRange(k, 100)
 	busy, total := q.Finish()
@@ -194,7 +198,7 @@ func TestTransferAndLaunchOverhead(t *testing.T) {
 	dev.LaunchOverheadSec = 0.5
 	dev.TransferBytesPerSec = 1000
 	q := NewQueue(dev)
-	k := &Kernel{Name: "xfer", Body: func(wi *WorkItem) { wi.Charge(Cost{Bytes: 500}) }}
+	k := &Kernel{Name: "xfer", Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{Bytes: 500}) }}
 	ev, err := q.EnqueueNDRange(k, 1)
 	if err != nil {
 		t.Fatal(err)

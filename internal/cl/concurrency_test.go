@@ -43,7 +43,7 @@ func TestQueuesOnSeparateDevicesIndependent(t *testing.T) {
 	d2 := testDevice()
 	d2.ComputeUnits = 1
 	q1, q2 := NewQueue(d1), NewQueue(d2)
-	k := &Kernel{Name: "w", Body: func(wi *WorkItem) { wi.Charge(Cost{DPCells: 100}) }}
+	k := &Kernel{Name: "w", Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{DPCells: 100}) }}
 	if _, err := q1.EnqueueNDRange(k, 50); err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/align"
 	"repro/internal/cl"
@@ -44,6 +45,11 @@ type Config struct {
 	Split []float64
 	// SASampleRate is passed to the FM-index build (0 = full SA).
 	SASampleRate int
+	// Exec pins the host execution mode of the pipeline's queues;
+	// cl.Auto (the zero value) uses the package default. Simulated
+	// results are identical either way — cl.Serial exists for debugging
+	// and for determinism regression tests.
+	Exec cl.ExecMode
 }
 
 // Pipeline is a REPUTE-style mapper bound to a reference and devices.
@@ -53,6 +59,7 @@ type Pipeline struct {
 	devices  []*cl.Device
 	split    []float64
 	selector seed.Selector
+	exec     cl.ExecMode
 }
 
 // New builds the index from ref and returns the pipeline.
@@ -82,7 +89,7 @@ func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipelin
 		return nil, fmt.Errorf("core: split has %d entries for %d devices",
 			len(split), len(devices))
 	}
-	return &Pipeline{name: name, ix: ix, devices: devices, split: split, selector: sel}, nil
+	return &Pipeline{name: name, ix: ix, devices: devices, split: split, selector: sel, exec: cfg.Exec}, nil
 }
 
 // Name implements mapper.Mapper.
@@ -168,18 +175,28 @@ func (p *Pipeline) shares(total int) []int {
 		return counts
 	}
 	assigned := 0
+	largest, largestShare := 0, 0.0
 	for i, s := range p.split {
 		if s < 0 {
 			s = 0
 		}
+		if s > largestShare {
+			largest, largestShare = i, s
+		}
 		counts[i] = int(float64(total) * s / sum)
 		assigned += counts[i]
 	}
-	counts[0] += total - assigned // remainder to the first device
+	// The rounding remainder goes to the device with the largest share —
+	// never to a device whose configured share is zero.
+	counts[largest] += total - assigned
 	return counts
 }
 
-// Map implements mapper.Mapper.
+// Map implements mapper.Mapper. Each device's share runs in its own host
+// goroutine over its own queue — the paper's task-parallel model — and
+// the shares join at a barrier before aggregation. Aggregation happens
+// in device order, so simulated seconds, energy and cost are independent
+// of which device's goroutine finishes first.
 func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error) {
 	opt = opt.WithDefaults()
 	if err := mapper.ValidateReads(reads, opt); err != nil {
@@ -191,6 +208,14 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 	}
 	counts := p.shares(len(reads))
 	ctx := cl.NewContext()
+	type devShare struct {
+		busy, energy float64
+		cost         cl.Cost
+		err          error
+		ran          bool
+	}
+	shares := make([]devShare, len(p.devices))
+	var wg sync.WaitGroup
 	offset := 0
 	for di, dev := range p.devices {
 		n := counts[di]
@@ -198,17 +223,31 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 			continue
 		}
 		chunk := reads[offset : offset+n]
-		busy, energy, cost, err := p.mapOnDevice(ctx, dev, chunk, res.Mappings[offset:offset+n], opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: device %s: %w", dev.Name, err)
-		}
-		res.DeviceSeconds[dev.Name] += busy
-		if busy > res.SimSeconds {
-			res.SimSeconds = busy // task-parallel makespan
-		}
-		res.EnergyJ += energy
-		res.Cost.Add(cost)
+		out := res.Mappings[offset : offset+n]
 		offset += n
+		wg.Add(1)
+		go func(di int, dev *cl.Device) {
+			defer wg.Done()
+			s := &shares[di]
+			s.ran = true
+			s.busy, s.energy, s.cost, s.err = p.mapOnDevice(ctx, dev, chunk, out, opt)
+		}(di, dev)
+	}
+	wg.Wait()
+	for di, dev := range p.devices {
+		s := shares[di]
+		if !s.ran {
+			continue
+		}
+		if s.err != nil {
+			return nil, fmt.Errorf("core: device %s: %w", dev.Name, s.err)
+		}
+		res.DeviceSeconds[dev.Name] += s.busy
+		if s.busy > res.SimSeconds {
+			res.SimSeconds = s.busy // task-parallel makespan
+		}
+		res.EnergyJ += s.energy
+		res.Cost.Add(s.cost)
 	}
 	return res, nil
 }
@@ -237,6 +276,7 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, dev *cl.Device, reads [][]byte, 
 	}
 
 	queue := cl.NewQueue(dev)
+	queue.SetExecMode(p.exec)
 	for start := 0; start < len(reads); start += batch {
 		end := start + batch
 		if end > len(reads) {
@@ -272,6 +312,18 @@ func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, reads [][]byte, ou
 	return nil
 }
 
+// kernelState is one host worker's private memory for the combined
+// filtration+verification kernel: the reverse-complement buffer, the
+// candidate and locate scratch slices and the verifier state. Keeping
+// them here — not captured by the kernel closure — is what lets the
+// work-group scheduler run work items on several workers at once.
+type kernelState struct {
+	vs    mapper.VerifyState
+	rev   []byte
+	cands []mapper.Candidate
+	locs  []int32
+}
+
 // kernel builds the combined filtration+verification kernel over a batch.
 // Each work item maps one read on both strands.
 func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, transferBytes int64) *cl.Kernel {
@@ -290,24 +342,26 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 	locSteps := p.ix.LocateSteps()
 	perItemBytes := transferBytes / int64(len(reads))
 
-	vs := &mapper.VerifyState{}
-	revBuf := make([]byte, len(reads[0]))
-	var cands []mapper.Candidate
-	var locs []int32
-
 	return &cl.Kernel{
 		Name:                p.name + "-map",
 		PrivateBytesPerItem: int64(seed.DPPeakMem(len(reads[0]), maxErr, params.MinSeedLen, p.selector)),
-		Body: func(wi *cl.WorkItem) {
+		NewState: func() any {
+			return &kernelState{rev: make([]byte, len(reads[0]))}
+		},
+		Body: func(wi *cl.WorkItem, state any) {
+			st := state.(*kernelState)
 			read := reads[wi.Global]
-			cands = cands[:0]
+			st.cands = st.cands[:0]
 			var itemCost cl.Cost
 			for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
 				pattern := read
 				if strand == mapper.Reverse {
-					revBuf = revBuf[:len(read)]
-					dna.ReverseComplementInto(revBuf, read)
-					pattern = revBuf
+					if cap(st.rev) < len(read) {
+						st.rev = make([]byte, len(read))
+					}
+					st.rev = st.rev[:len(read)]
+					dna.ReverseComplementInto(st.rev, read)
+					pattern = st.rev
 				}
 				sel, err := p.selector.Select(p.ix, pattern, params)
 				if err != nil {
@@ -329,10 +383,10 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 					if c > remaining {
 						c = remaining
 					}
-					locs = p.ix.Locate(s.Lo, s.Lo+c, 0, locs[:0])
+					st.locs = p.ix.Locate(s.Lo, s.Lo+c, 0, st.locs[:0])
 					itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
-					for _, pos := range locs {
-						cands = append(cands, mapper.Candidate{
+					for _, pos := range st.locs {
+						st.cands = append(st.cands, mapper.Candidate{
 							Pos:    pos - int32(s.Start),
 							Strand: strand,
 						})
@@ -340,8 +394,8 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 					remaining -= c
 				}
 			}
-			dd := mapper.DedupCandidates(cands, int32(maxErr))
-			ms, vc := vs.Verify(p.ix.Text(), read, dd, maxErr, opt.MaxLocations)
+			dd := mapper.DedupCandidates(st.cands, int32(maxErr))
+			ms, vc := st.vs.Verify(p.ix.Text(), read, dd, maxErr, opt.MaxLocations)
 			itemCost.VerifyWords += vc.VerifyWords
 			itemCost.Items = 1
 			itemCost.Bytes = perItemBytes

@@ -422,3 +422,35 @@ func TestSharesSumToTotal(t *testing.T) {
 		}
 	}
 }
+
+func TestSharesRemainderGoesToLargestShare(t *testing.T) {
+	ref, _ := testWorld(t, 20_000, 1, simulate.ERR012100)
+	sys := cl.SystemOne()
+	for _, tc := range []struct {
+		split []float64
+		total int
+		want  []int
+	}{
+		// A zero-share device must receive no reads — the remainder
+		// belongs to the largest share, not unconditionally to device 0.
+		{[]float64{0, 1, 0}, 7, []int{0, 7, 0}},
+		{[]float64{0, 0.5, 0.5}, 5, []int{0, 3, 2}},
+		// Negative shares are clamped and never absorb the remainder.
+		{[]float64{-1, 1, 0}, 3, []int{0, 3, 0}},
+		// Largest-share device takes the rounding leftovers.
+		{[]float64{0.2, 0.6, 0.2}, 7, []int{1, 5, 1}},
+		{[]float64{1, 0, 0}, 4, []int{4, 0, 0}},
+	} {
+		p, err := New(ref, sys.Devices, Config{Split: tc.split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := p.shares(tc.total)
+		for i := range counts {
+			if counts[i] != tc.want[i] {
+				t.Errorf("shares(%v, %d) = %v want %v", tc.split, tc.total, counts, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -96,10 +96,16 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 	locSteps := m.ix.LocateSteps()
 	text := m.ix.Text()
 
-	rev := make([]byte, len(reads[0]))
-	var locs []int32
-	var window []byte
-	body := func(wi *cl.WorkItem) {
+	// Per-worker private scratch (cl.Kernel.NewState contract): nothing
+	// mutable is captured by the kernel closure.
+	type kernelState struct {
+		rev    []byte
+		locs   []int32
+		window []byte
+	}
+	newState := func() any { return &kernelState{rev: make([]byte, len(reads[0]))} }
+	body := func(wi *cl.WorkItem, state any) {
+		st := state.(*kernelState)
 		read := reads[wi.Global]
 		n := len(read)
 		var itemCost cl.Cost
@@ -108,9 +114,12 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 		for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
 			pattern := read
 			if strand == mapper.Reverse {
-				rev = rev[:n]
-				dna.ReverseComplementInto(rev, read)
-				pattern = rev
+				if cap(st.rev) < n {
+					st.rev = make([]byte, n)
+				}
+				st.rev = st.rev[:n]
+				dna.ReverseComplementInto(st.rev, read)
+				pattern = st.rev
 			}
 			// BWA-MEM re-seeds roughly every ~20 bp along the read.
 			seeds := m.seedsOf(pattern, n/20+1, &itemCost)
@@ -120,9 +129,9 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 				if c > maxHitsPerSeed {
 					continue
 				}
-				locs = m.ix.Locate(sd.lo, sd.hi, 0, locs[:0])
+				st.locs = m.ix.Locate(sd.lo, sd.hi, 0, st.locs[:0])
 				itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
-				for _, p := range locs {
+				for _, p := range st.locs {
 					cand := p - int32(sd.start)
 					key := cand / int32(opt.MaxErrors+1)
 					if seen[key] {
@@ -140,10 +149,10 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 					if hi-lo < n-opt.MaxErrors {
 						continue
 					}
-					if cap(window) < hi-lo {
-						window = make([]byte, hi-lo)
+					if cap(st.window) < hi-lo {
+						st.window = make([]byte, hi-lo)
 					}
-					win := text.SliceInto(window, lo, hi)
+					win := text.SliceInto(st.window, lo, hi)
 					// Full-bandwidth banded SW extension per chain.
 					itemCost.DPCells += int64((2*bandWidth + 1) * n)
 					end, dist := align.BandedDistance(pattern, win, opt.MaxErrors)
@@ -174,7 +183,7 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 		}
 	}
 
-	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "bwamem-map", len(reads), 2048, body)
+	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "bwamem-map", len(reads), 2048, newState, body)
 	if err != nil {
 		return nil, err
 	}

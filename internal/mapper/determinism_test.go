@@ -1,0 +1,64 @@
+package mapper_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+// TestAllMappersSerialParallelDeterminism runs every mapper — REPUTE and
+// CORAL via core plus the five baselines — under serial and parallel host
+// execution and asserts identical mappings and accounting. This is what
+// the NewState migration buys: kernel bodies own no shared mutable
+// captures, so the host schedule cannot change results.
+func TestAllMappersSerialParallelDeterminism(t *testing.T) {
+	// Force a real worker pool even on single-core CI machines.
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	w := buildWorld(t, 30_000, 60, simulate.ERR012100)
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+
+	for name, m := range w.mappers {
+		t.Run(name, func(t *testing.T) {
+			run := func(mode cl.ExecMode) *mapper.Result {
+				prevMode := cl.SetDefaultExecMode(mode)
+				defer cl.SetDefaultExecMode(prevMode)
+				res, err := m.Map(w.set.Reads, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := run(cl.Serial)
+			parallel := run(cl.Parallel)
+
+			if serial.SimSeconds != parallel.SimSeconds {
+				t.Errorf("SimSeconds differ: serial %v parallel %v",
+					serial.SimSeconds, parallel.SimSeconds)
+			}
+			if serial.EnergyJ != parallel.EnergyJ {
+				t.Errorf("EnergyJ differs: serial %v parallel %v",
+					serial.EnergyJ, parallel.EnergyJ)
+			}
+			if serial.Cost != parallel.Cost {
+				t.Errorf("Cost differs:\nserial   %+v\nparallel %+v",
+					serial.Cost, parallel.Cost)
+			}
+			for i := range serial.Mappings {
+				a, b := serial.Mappings[i], parallel.Mappings[i]
+				if len(a) != len(b) {
+					t.Fatalf("read %d: %d vs %d mappings", i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("read %d mapping %d differs: %+v vs %+v", i, j, a[j], b[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -152,50 +152,59 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 	}
 	k := opt.MaxErrors + 1
 
-	vs := &mapper.VerifyState{}
-	rev := make([]byte, len(reads[0]))
-	var freqs []int32
-	var cands []mapper.Candidate
-	body := func(wi *cl.WorkItem) {
+	// Per-worker private scratch (cl.Kernel.NewState contract): nothing
+	// mutable is captured by the kernel closure.
+	type kernelState struct {
+		vs    mapper.VerifyState
+		rev   []byte
+		freqs []int32
+		cands []mapper.Candidate
+	}
+	newState := func() any { return &kernelState{rev: make([]byte, len(reads[0]))} }
+	body := func(wi *cl.WorkItem, state any) {
+		st := state.(*kernelState)
 		read := reads[wi.Global]
 		n := len(read)
 		var itemCost cl.Cost
-		cands = cands[:0]
+		st.cands = st.cands[:0]
 		for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
 			pattern := read
 			if strand == mapper.Reverse {
-				rev = rev[:n]
-				dna.ReverseComplementInto(rev, read)
-				pattern = rev
+				if cap(st.rev) < n {
+					st.rev = make([]byte, n)
+				}
+				st.rev = st.rev[:n]
+				dna.ReverseComplementInto(st.rev, read)
+				pattern = st.rev
 			}
 			nGrams := n - q + 1
-			if cap(freqs) < nGrams {
-				freqs = make([]int32, nGrams)
+			if cap(st.freqs) < nGrams {
+				st.freqs = make([]int32, nGrams)
 			}
-			freqs = freqs[:nGrams]
+			st.freqs = st.freqs[:nGrams]
 			for i := 0; i < nGrams; i++ {
-				freqs[i] = int32(ix.Count(qgram.Hash(pattern[i : i+q])))
+				st.freqs[i] = int32(ix.Count(qgram.Hash(pattern[i : i+q])))
 			}
 			itemCost.HashProbes += int64(nGrams)
-			sigs, cells := selectSignatures(freqs, k, q)
+			sigs, cells := selectSignatures(st.freqs, k, q)
 			itemCost.DPCells += int64(cells)
 			for _, p := range sigs {
 				hits := ix.Positions(qgram.Hash(pattern[p : p+q]))
 				itemCost.HashProbes += 1 + int64(len(hits))
 				for _, hp := range hits {
-					cands = append(cands, mapper.Candidate{Pos: hp - int32(p), Strand: strand})
+					st.cands = append(st.cands, mapper.Candidate{Pos: hp - int32(p), Strand: strand})
 				}
 			}
 		}
-		dd := mapper.DedupCandidates(cands, int32(opt.MaxErrors))
-		ms, vc := vs.Verify(m.text, read, dd, opt.MaxErrors, opt.MaxLocations)
+		dd := mapper.DedupCandidates(st.cands, int32(opt.MaxErrors))
+		ms, vc := st.vs.Verify(m.text, read, dd, opt.MaxErrors, opt.MaxLocations)
 		itemCost.VerifyWords += vc.VerifyWords
 		itemCost.Items = 1
 		wi.Charge(itemCost)
 		res.Mappings[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
 	}
 
-	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "hobbes3-map", len(reads), 1024, body)
+	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "hobbes3-map", len(reads), 1024, newState, body)
 	if err != nil {
 		return nil, err
 	}

@@ -96,32 +96,42 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 		return nil, err
 	}
 
-	vs := &mapper.VerifyState{}
-	rev := make([]byte, len(reads[0]))
-	var diags []int32
-	var cands []mapper.Candidate
-	body := func(wi *cl.WorkItem) {
+	// Per-worker private scratch: the kernel may run on several host
+	// workers at once, so no mutable buffer is captured by the closure.
+	type kernelState struct {
+		vs    mapper.VerifyState
+		rev   []byte
+		diags []int32
+		cands []mapper.Candidate
+	}
+	newState := func() any { return &kernelState{rev: make([]byte, len(reads[0]))} }
+	body := func(wi *cl.WorkItem, state any) {
+		st := state.(*kernelState)
 		read := reads[wi.Global]
 		n := len(read)
 		var itemCost cl.Cost
-		cands = cands[:0]
+		st.cands = st.cands[:0]
 		for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
 			pattern := read
 			if strand == mapper.Reverse {
-				rev = rev[:n]
-				dna.ReverseComplementInto(rev, read)
-				pattern = rev
+				if cap(st.rev) < n {
+					st.rev = make([]byte, n)
+				}
+				st.rev = st.rev[:n]
+				dna.ReverseComplementInto(st.rev, read)
+				pattern = st.rev
 			}
-			diags = diags[:0]
+			st.diags = st.diags[:0]
 			// Probe every read q-gram; collect hit diagonals.
 			for i := 0; i+q <= n; i++ {
 				h := qgram.Hash(pattern[i : i+q])
 				ps := ix.Positions(h)
 				itemCost.HashProbes += 1 + int64(len(ps))
 				for _, p := range ps {
-					diags = append(diags, p-int32(i))
+					st.diags = append(st.diags, p-int32(i))
 				}
 			}
+			diags := st.diags
 			sort.Slice(diags, func(a, b int) bool { return diags[a] < diags[b] })
 			itemCost.DPCells += int64(len(diags)) // sort/merge work proxy
 			// Sliding window over sorted diagonals: an alignment with
@@ -132,19 +142,19 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 					lo++
 				}
 				if hi-lo+1 >= t {
-					cands = append(cands, mapper.Candidate{Pos: diags[lo], Strand: strand})
+					st.cands = append(st.cands, mapper.Candidate{Pos: diags[lo], Strand: strand})
 				}
 			}
 		}
-		dd := mapper.DedupCandidates(cands, int32(opt.MaxErrors))
-		ms, vc := vs.Verify(m.text, read, dd, opt.MaxErrors, opt.MaxLocations)
+		dd := mapper.DedupCandidates(st.cands, int32(opt.MaxErrors))
+		ms, vc := st.vs.Verify(m.text, read, dd, opt.MaxErrors, opt.MaxLocations)
 		itemCost.VerifyWords += vc.VerifyWords
 		itemCost.Items = 1
 		wi.Charge(itemCost)
 		res.Mappings[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
 	}
 
-	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "razers3-map", len(reads), 512, body)
+	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "razers3-map", len(reads), 512, newState, body)
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,14 @@ import "repro/internal/cl"
 // device and returns the simulated timing, energy and cost. The baseline
 // mappers (threaded host programs in the paper) all use this single-queue
 // path; only REPUTE and CORAL split work across devices.
-func RunOnDevice(dev *cl.Device, kernelName string, n int, privateBytes int64, body func(*cl.WorkItem)) (simSeconds, energyJ float64, cost cl.Cost, err error) {
+//
+// newState builds one host worker's private scratch (cl.Kernel.NewState);
+// body receives it on every call and must keep all mutable working
+// memory there, since the runtime may execute work items on several
+// workers at once. Pass nil for a stateless kernel.
+func RunOnDevice(dev *cl.Device, kernelName string, n int, privateBytes int64, newState func() any, body func(*cl.WorkItem, any)) (simSeconds, energyJ float64, cost cl.Cost, err error) {
 	q := cl.NewQueue(dev)
-	k := &cl.Kernel{Name: kernelName, PrivateBytesPerItem: privateBytes, Body: body}
+	k := &cl.Kernel{Name: kernelName, PrivateBytesPerItem: privateBytes, NewState: newState, Body: body}
 	if _, err := q.EnqueueNDRange(k, n); err != nil {
 		return 0, 0, cl.Cost{}, err
 	}

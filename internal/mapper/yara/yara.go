@@ -69,21 +69,30 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 	// its time up at high δ on repetitive references.
 	maxCand := 8 * opt.MaxLocations
 
-	vs := &mapper.VerifyState{}
-	rev := make([]byte, len(reads[0]))
-	var cands []mapper.Candidate
-	var locs []int32
-	body := func(wi *cl.WorkItem) {
+	// Per-worker private scratch (cl.Kernel.NewState contract): nothing
+	// mutable is captured by the kernel closure.
+	type kernelState struct {
+		vs    mapper.VerifyState
+		rev   []byte
+		cands []mapper.Candidate
+		locs  []int32
+	}
+	newState := func() any { return &kernelState{rev: make([]byte, len(reads[0]))} }
+	body := func(wi *cl.WorkItem, state any) {
+		st := state.(*kernelState)
 		read := reads[wi.Global]
 		n := len(read)
 		var itemCost cl.Cost
-		cands = cands[:0]
+		st.cands = st.cands[:0]
 		for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
 			pattern := read
 			if strand == mapper.Reverse {
-				rev = rev[:n]
-				dna.ReverseComplementInto(rev, read)
-				pattern = rev
+				if cap(st.rev) < n {
+					st.rev = make([]byte, n)
+				}
+				st.rev = st.rev[:n]
+				dna.ReverseComplementInto(st.rev, read)
+				pattern = st.rev
 			}
 			remaining := maxCand
 			for si := 0; si < nSeeds && remaining > 0; si++ {
@@ -97,18 +106,18 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 					if c > remaining {
 						c = remaining
 					}
-					locs = m.ix.Locate(h.Lo, h.Lo+c, 0, locs[:0])
+					st.locs = m.ix.Locate(h.Lo, h.Lo+c, 0, st.locs[:0])
 					itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
-					for _, p := range locs {
-						cands = append(cands, mapper.Candidate{Pos: p - int32(start), Strand: strand})
+					for _, p := range st.locs {
+						st.cands = append(st.cands, mapper.Candidate{Pos: p - int32(start), Strand: strand})
 					}
 					remaining -= c
 				})
 				itemCost.FMSteps += int64(steps)
 			}
 		}
-		dd := mapper.DedupCandidates(cands, int32(opt.MaxErrors))
-		ms, vc := vs.Verify(m.ix.Text(), read, dd, opt.MaxErrors, 0)
+		dd := mapper.DedupCandidates(st.cands, int32(opt.MaxErrors))
+		ms, vc := st.vs.Verify(m.ix.Text(), read, dd, opt.MaxErrors, 0)
 		itemCost.VerifyWords += vc.VerifyWords
 		itemCost.Items = 1
 		wi.Charge(itemCost)
@@ -121,7 +130,7 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 		res.Mappings[wi.Global] = mapper.Finalize(ms, m.best || opt.Best, maxLoc)
 	}
 
-	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "yara-map", len(reads), 512, body)
+	busy, energy, cost, err := mapper.RunOnDevice(m.dev, "yara-map", len(reads), 512, newState, body)
 	if err != nil {
 		return nil, err
 	}
