@@ -1,0 +1,74 @@
+// Command clvet is the multichecker driver for the clvet analyzer
+// suite: it statically enforces the simulated-OpenCL kernel contract
+// (see internal/analysis/clvet) across the module.
+//
+// Usage:
+//
+//	go run ./cmd/clvet ./...
+//	go run ./cmd/clvet -tests ./internal/cl
+//
+// Diagnostics print in go-vet style (file:line:col: message (analyzer))
+// and any finding makes the command exit non-zero, so CI can use it as
+// a gate. Packages are loaded and type-checked entirely from source —
+// no build cache, network or go command is needed at analysis time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/clvet"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: clvet [-tests] [packages]\n\nAnalyzers:\n")
+		for _, a := range clvet.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range clvet.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(clvet.Analyzers(), pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clvet:", err)
+	os.Exit(2)
+}

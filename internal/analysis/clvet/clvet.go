@@ -1,0 +1,337 @@
+// Package clvet statically enforces the simulated-OpenCL kernel
+// contract of internal/cl. The paper's design leans on OpenCL 1.2
+// kernel restrictions — no dynamic allocation inside kernels, private
+// scratch per work item, work items writing only their own output slot
+// — and PR 1 turned them into a social contract on cl.Kernel
+// (NewState-owned scratch, wi.Global-indexed outputs). The analyzers
+// here turn that contract into a compile gate:
+//
+//   - kernelcapture: a kernel body must not mutate variables captured
+//     from its enclosing scope; captured slices may only be written at
+//     index wi.Global (disjoint output slots).
+//   - kernelalloc: no make/new/append outside kernel-state scratch, no
+//     maps, no fmt calls inside a body — the OpenCL 1.2 "fixed output
+//     slots" rule.
+//   - kerneldeterminism: no wall clocks, randomness, map iteration,
+//     channel operations or goroutines inside bodies or NewState; the
+//     serial/parallel bit-identity tests depend on this.
+//   - costcharge: a body whose (package-local) call graph never reaches
+//     (*cl.WorkItem).Charge is a hole in the performance model, unless
+//     annotated //clvet:stateless.
+//
+// Kernel bodies are found wherever they flow into the runtime: cl.Kernel
+// composite literals, assignments to a Kernel's Body/NewState fields,
+// and calls passing a func(*cl.WorkItem, any) argument (the
+// mapper.RunOnDevice path). A body bound to a local variable first
+// (body := func(...)...) is traced through the binding.
+package clvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzers returns the full clvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		KernelCapture,
+		KernelAlloc,
+		KernelDeterminism,
+		CostCharge,
+	}
+}
+
+// kernelSite is one place a kernel is constructed: the syntax that binds
+// a body (and possibly a NewState) to the cl runtime.
+type kernelSite struct {
+	// node is the construction site — composite literal, field
+	// assignment or call — used for positions and opt-out comments.
+	node ast.Node
+	// body is the resolved body function literal; nil when the body
+	// expression could not be traced to a literal in this package.
+	body *ast.FuncLit
+	// bodyExpr is the expression supplying the body at the site.
+	bodyExpr ast.Expr
+	// newState is the resolved NewState literal, when present.
+	newState *ast.FuncLit
+	// wi and state are the body's two parameter objects (nil for _).
+	wi, state *types.Var
+}
+
+// isClPackage reports whether pkg is the simulated OpenCL runtime.
+func isClPackage(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "repro/internal/cl" ||
+		strings.HasSuffix(pkg.Path(), "/internal/cl"))
+}
+
+// isClNamed reports whether t is the named type name from internal/cl,
+// unwrapping one level of pointer.
+func isClNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && isClPackage(n.Obj().Pkg())
+}
+
+// isBodyFuncType reports whether t is func(*cl.WorkItem, any).
+func isBodyFuncType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 0 || sig.Params().Len() != 2 || sig.Variadic() {
+		return false
+	}
+	if !isClNamed(sig.Params().At(0).Type(), "WorkItem") {
+		return false
+	}
+	iface, ok := sig.Params().At(1).Type().Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// isNewStateFuncType reports whether t is func() any.
+func isNewStateFuncType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	iface, ok := sig.Results().At(0).Type().Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// kernelSites finds every kernel construction in the package.
+func kernelSites(pass *analysis.Pass) []kernelSite {
+	var sites []kernelSite
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isClNamed(t, "Kernel") {
+					sites = append(sites, siteFromLiteral(pass, n))
+				}
+			case *ast.AssignStmt:
+				sites = append(sites, sitesFromAssign(pass, n)...)
+			case *ast.CallExpr:
+				if s, ok := siteFromCall(pass, n); ok {
+					sites = append(sites, s)
+				}
+			}
+			return true
+		})
+	}
+	for i := range sites {
+		resolveSite(pass, &sites[i])
+	}
+	return sites
+}
+
+// siteFromLiteral extracts Body/NewState from a cl.Kernel{...} literal.
+func siteFromLiteral(pass *analysis.Pass, lit *ast.CompositeLit) kernelSite {
+	s := kernelSite{node: lit}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Body":
+			s.bodyExpr = kv.Value
+		case "NewState":
+			if fl := resolveFuncLit(pass, kv.Value); fl != nil {
+				s.newState = fl
+			}
+		}
+	}
+	return s
+}
+
+// sitesFromAssign extracts k.Body = ... / k.NewState = ... assignments.
+func sitesFromAssign(pass *analysis.Pass, as *ast.AssignStmt) []kernelSite {
+	var sites []kernelSite
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || i >= len(as.Rhs) {
+			continue
+		}
+		recv := pass.TypesInfo.TypeOf(sel.X)
+		if recv == nil || !isClNamed(recv, "Kernel") {
+			continue
+		}
+		switch sel.Sel.Name {
+		case "Body":
+			sites = append(sites, kernelSite{node: as, bodyExpr: as.Rhs[i]})
+		case "NewState":
+			s := kernelSite{node: as}
+			if fl := resolveFuncLit(pass, as.Rhs[i]); fl != nil {
+				s.newState = fl
+				sites = append(sites, s)
+			}
+		}
+	}
+	return sites
+}
+
+// siteFromCall recognises helper calls that accept a kernel body — any
+// parameter of type func(*cl.WorkItem, any), like mapper.RunOnDevice —
+// and pairs it with a func() any parameter named "newState" if present.
+func siteFromCall(pass *analysis.Pass, call *ast.CallExpr) (kernelSite, bool) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Variadic() {
+		return kernelSite{}, false
+	}
+	s := kernelSite{node: call}
+	found := false
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		p := sig.Params().At(i)
+		switch {
+		case isBodyFuncType(p.Type()):
+			s.bodyExpr = call.Args[i]
+			found = true
+		case p.Name() == "newState" && isNewStateFuncType(p.Type()):
+			if fl := resolveFuncLit(pass, call.Args[i]); fl != nil {
+				s.newState = fl
+			}
+		}
+	}
+	return s, found
+}
+
+// resolveSite traces the body expression to its literal and records the
+// parameter objects.
+func resolveSite(pass *analysis.Pass, s *kernelSite) {
+	if s.bodyExpr == nil {
+		return
+	}
+	s.body = resolveFuncLit(pass, s.bodyExpr)
+	if s.body == nil {
+		return
+	}
+	params := s.body.Type.Params.List
+	var names []*ast.Ident
+	for _, field := range params {
+		names = append(names, field.Names...)
+	}
+	if len(names) == 2 {
+		if v, ok := pass.TypesInfo.Defs[names[0]].(*types.Var); ok {
+			s.wi = v
+		}
+		if v, ok := pass.TypesInfo.Defs[names[1]].(*types.Var); ok {
+			s.state = v
+		}
+	}
+}
+
+// resolveFuncLit unwraps expr to a function literal, following one
+// level of local-variable indirection (body := func(...){...}; use of
+// body later), which is how every mapper builds its kernel.
+func resolveFuncLit(pass *analysis.Pass, expr ast.Expr) *ast.FuncLit {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		return e
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		return funcLitBoundTo(pass, obj)
+	}
+	return nil
+}
+
+// funcLitBoundTo finds a function literal assigned to obj anywhere in
+// the package syntax.
+func funcLitBoundTo(pass *analysis.Pass, obj types.Object) *ast.FuncLit {
+	var found *ast.FuncLit
+	for _, f := range pass.Files {
+		if found != nil {
+			break
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					def := pass.TypesInfo.Defs[id]
+					use := pass.TypesInfo.Uses[id]
+					if def != obj && use != obj {
+						continue
+					}
+					if fl, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						found = fl
+						return false
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if pass.TypesInfo.Defs[id] != obj || i >= len(n.Values) {
+						continue
+					}
+					if fl, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+						found = fl
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// declaredWithin reports whether obj is declared inside the node's
+// source range — the locality test separating a body's own variables
+// (and parameters) from captured ones.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() != token.NoPos && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+// hasOptOut reports whether a //clvet:<name> comment opts the site out:
+// the marker must sit on, or on the line directly above, the kernel
+// construction site or its body literal.
+func hasOptOut(pass *analysis.Pass, s kernelSite, name string) bool {
+	marker := "clvet:" + name
+	lines := map[int]bool{}
+	note := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		l := pass.Fset.Position(n.Pos()).Line
+		lines[l] = true
+		lines[l-1] = true
+	}
+	note(s.node)
+	if s.body != nil {
+		note(s.body)
+	}
+	for _, f := range pass.Files {
+		if s.node.Pos() < f.Pos() || s.node.Pos() >= f.End() {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, marker) {
+					continue
+				}
+				if lines[pass.Fset.Position(c.Pos()).Line] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

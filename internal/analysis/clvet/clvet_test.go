@@ -1,0 +1,24 @@
+package clvet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clvet"
+)
+
+func TestKernelCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.KernelCapture, "kernelcapture")
+}
+
+func TestKernelAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.KernelAlloc, "kernelalloc")
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.KernelDeterminism, "kerneldeterminism")
+}
+
+func TestCostCharge(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.CostCharge, "costcharge")
+}

@@ -1,0 +1,108 @@
+package clvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// CostCharge closes the performance-model loophole: a kernel body that
+// never reaches (*cl.WorkItem).Charge does real work that the simulated
+// clock never sees, silently skewing every cross-device comparison the
+// reproduction exists to make. The reachability search covers the body
+// literal and every same-package function or method it calls
+// (transitively); a genuinely cost-free kernel opts out with a
+// //clvet:stateless comment on the construction site.
+var CostCharge = &analysis.Analyzer{
+	Name: "costcharge",
+	Doc: "check that every kernel body charges simulated cost via (*cl.WorkItem).Charge " +
+		"or is annotated //clvet:stateless",
+	Run: runCostCharge,
+}
+
+func runCostCharge(pass *analysis.Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, site := range kernelSites(pass) {
+		if site.body == nil {
+			continue
+		}
+		if hasOptOut(pass, site, "stateless") {
+			continue
+		}
+		if !reachesCharge(pass, site.body.Body, decls, map[*types.Func]bool{}) {
+			pass.Reportf(site.body.Pos(),
+				"kernel body never reaches (*cl.WorkItem).Charge: its work is invisible "+
+					"to the cost model; charge the operations performed or annotate the "+
+					"kernel //clvet:stateless")
+		}
+	}
+	return nil
+}
+
+// packageFuncDecls maps this package's function and method objects to
+// their declarations, the reachable part of the call graph.
+func packageFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// reachesCharge walks one function body looking for a Charge call,
+// descending into same-package callees.
+func reachesCharge(pass *analysis.Pass, body ast.Node,
+	decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool) bool {
+
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isChargeCall(pass, call) {
+			found = true
+			return false
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() != pass.Pkg || visited[fn] {
+			return true
+		}
+		visited[fn] = true
+		if decl := decls[fn]; decl != nil && decl.Body != nil {
+			if reachesCharge(pass, decl.Body, decls, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isChargeCall reports whether call invokes the Charge method of the
+// simulated runtime's WorkItem.
+func isChargeCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Charge" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isClNamed(recv.Type(), "WorkItem") && isClPackage(fn.Pkg())
+}

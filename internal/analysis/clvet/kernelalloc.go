@@ -1,0 +1,237 @@
+package clvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// KernelAlloc enforces the OpenCL 1.2 "no dynamic allocation in
+// kernels" rule the paper designs around: outputs live in fixed slots
+// prepared by the host, and the only sanctioned growth is amortised
+// kernel-state scratch (st.buf = make(...) / st.buf = append(st.buf,
+// ...) where st comes from the body's state parameter). Maps are
+// forbidden entirely — creation and writes — and fmt calls, which
+// allocate on every invocation, are flagged.
+//
+// The check is syntactic over the body literal: helpers the body calls
+// are the author's responsibility (their costs are already folded into
+// the cost model the same way).
+var KernelAlloc = &analysis.Analyzer{
+	Name: "kernelalloc",
+	Doc: "check that simulated-OpenCL kernel bodies do not allocate dynamically: " +
+		"make/new/append only into NewState-owned scratch, no maps, no fmt",
+	Run: runKernelAlloc,
+}
+
+func runKernelAlloc(pass *analysis.Pass) error {
+	for _, site := range kernelSites(pass) {
+		if site.body != nil {
+			checkAlloc(pass, site)
+		}
+	}
+	return nil
+}
+
+func checkAlloc(pass *analysis.Pass, site kernelSite) {
+	body := site.body
+	aliases := stateAliases(pass, site)
+
+	// isStateTarget reports whether e writes into kernel state: its base
+	// identifier is the state parameter or a local bound to it.
+	isStateTarget := func(e ast.Expr) bool {
+		base, _ := writeTarget(e)
+		if base == nil {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[base]
+		}
+		return obj != nil && aliases[obj]
+	}
+
+	// stateAssigned reports whether call is the right-hand side of an
+	// assignment whose matching left-hand side is kernel state.
+	stateAssigned := func(call *ast.CallExpr, parents []ast.Node) bool {
+		if len(parents) == 0 {
+			return false
+		}
+		as, ok := parents[len(parents)-1].(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+				return isStateTarget(as.Lhs[i])
+			}
+		}
+		return false
+	}
+
+	walkWithParents(body.Body, func(n ast.Node, parents []ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(pass, ix.X) {
+					pass.Reportf(n.Pos(),
+						"kernel body writes a map; OpenCL kernels have no maps — "+
+							"use fixed slots or kernel-state slices")
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isMapType(pass, ix.X) {
+				pass.Reportf(n.Pos(), "kernel body writes a map; OpenCL kernels have no maps — "+
+					"use fixed slots or kernel-state slices")
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "kernel body allocates a map literal; "+
+						"OpenCL kernels have no maps")
+				}
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pass, n, parents, stateAssigned)
+		}
+	})
+}
+
+// checkAllocCall flags allocation-shaped calls inside a kernel body.
+func checkAllocCall(pass *analysis.Pass, call *ast.CallExpr,
+	parents []ast.Node, stateAssigned func(*ast.CallExpr, []ast.Node) bool) {
+
+	// Builtins: make / new / append / delete / clear.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				t := pass.TypesInfo.TypeOf(call)
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(call.Pos(), "kernel body allocates a map; OpenCL kernels have no maps")
+				case *types.Chan:
+					pass.Reportf(call.Pos(), "kernel body allocates a channel; kernels cannot synchronise")
+				default:
+					if !stateAssigned(call, parents) {
+						pass.Reportf(call.Pos(),
+							"kernel body allocates with make outside kernel state; "+
+								"grow a NewState-owned buffer instead")
+					}
+				}
+			case "new":
+				if !stateAssigned(call, parents) {
+					pass.Reportf(call.Pos(),
+						"kernel body allocates with new outside kernel state; "+
+							"move the value into cl.Kernel.NewState")
+				}
+			case "append":
+				if !stateAssigned(call, parents) {
+					pass.Reportf(call.Pos(),
+						"kernel body appends outside kernel state; outputs are fixed slots "+
+							"and scratch belongs in cl.Kernel.NewState")
+				}
+			case "delete":
+				pass.Reportf(call.Pos(), "kernel body writes a map; OpenCL kernels have no maps — "+
+					"use fixed slots or kernel-state slices")
+			case "clear":
+				if len(call.Args) == 1 && isMapType(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "kernel body writes a map; OpenCL kernels have no maps — "+
+						"use fixed slots or kernel-state slices")
+				}
+			}
+			return
+		}
+	}
+
+	// fmt.* allocates (and reflects) on every call.
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"kernel body calls fmt.%s, which allocates on every work item; "+
+				"format on the host instead", fn.Name())
+	}
+}
+
+// stateAliases collects the body's state parameter plus locals bound to
+// it via type assertion (st := state.(*kernelState)) or plain copy.
+func stateAliases(pass *analysis.Pass, site kernelSite) map[types.Object]bool {
+	aliases := map[types.Object]bool{}
+	if site.state != nil {
+		aliases[site.state] = true
+	}
+	ast.Inspect(site.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			src := ast.Unparen(rhs)
+			if ta, ok := src.(*ast.TypeAssertExpr); ok {
+				src = ast.Unparen(ta.X)
+			}
+			srcID, ok := src.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			srcObj := pass.TypesInfo.Uses[srcID]
+			if srcObj == nil || !aliases[srcObj] {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				aliases[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				aliases[obj] = true
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// isMapType reports whether expr has a map type.
+func isMapType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// calleeFunc resolves a call's target to a declared function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// walkWithParents traverses n, handing each visited node its ancestor
+// stack (nearest last) — the parent context the stdlib Inspect lacks.
+func walkWithParents(n ast.Node, visit func(ast.Node, []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,150 @@
+package clvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// KernelCapture enforces the shared-capture half of the kernel
+// contract: a body may read what it captures (immutable inputs) and
+// write captured slices only at index wi.Global (its own output slot);
+// every other mutation of enclosing-scope state must move into the
+// value returned by cl.Kernel.NewState, because the work-group
+// scheduler runs bodies on several host workers at once.
+var KernelCapture = &analysis.Analyzer{
+	Name: "kernelcapture",
+	Doc: "check that simulated-OpenCL kernel bodies do not mutate captured variables; " +
+		"mutable scratch belongs in cl.Kernel.NewState and outputs in wi.Global-indexed slots",
+	Run: runKernelCapture,
+}
+
+func runKernelCapture(pass *analysis.Pass) error {
+	for _, site := range kernelSites(pass) {
+		if site.body != nil {
+			checkCapture(pass, site)
+		}
+	}
+	return nil
+}
+
+func checkCapture(pass *analysis.Pass, site kernelSite) {
+	body := site.body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, site, n.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, site, n.Pos(), n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				checkWrite(pass, site, n.Pos(), n.Key)
+				checkWrite(pass, site, n.Pos(), n.Value)
+			}
+		case *ast.UnaryExpr:
+			// Handing out &captured lets a callee mutate shared state
+			// behind the analyzer's back; forbid it outright.
+			if n.Op == token.AND {
+				if base, _ := writeTarget(n.X); base != nil {
+					if obj := capturedObject(pass, site, base); obj != nil {
+						pass.Reportf(n.Pos(),
+							"kernel body takes the address of captured variable %s; "+
+								"per-worker scratch must come from cl.Kernel.NewState", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite validates one assignment target inside a kernel body.
+func checkWrite(pass *analysis.Pass, site kernelSite, pos token.Pos, lhs ast.Expr) {
+	if lhs == nil {
+		return
+	}
+	base, firstIndex := writeTarget(lhs)
+	if base == nil {
+		return
+	}
+	obj := capturedObject(pass, site, base)
+	if obj == nil {
+		return
+	}
+	if firstIndex == nil {
+		pass.Reportf(pos,
+			"kernel body writes captured variable %s; move mutable scratch into the "+
+				"state built by cl.Kernel.NewState", obj.Name())
+		return
+	}
+	if !isWiGlobal(pass, site, firstIndex) {
+		pass.Reportf(pos,
+			"kernel body writes captured %s at an index other than wi.Global; "+
+				"work items may only write their own output slot", obj.Name())
+	}
+}
+
+// capturedObject resolves base to its variable and returns it when the
+// variable is declared outside the kernel body (a capture). Parameters
+// and body-locals — including locals of nested literals — return nil.
+func capturedObject(pass *analysis.Pass, site kernelSite, base *ast.Ident) types.Object {
+	if base.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[base]
+	}
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	if declaredWithin(obj, site.body) {
+		return nil
+	}
+	return obj
+}
+
+// writeTarget walks a write target down to its base identifier and the
+// first index applied to that base. For res.Mappings[wi.Global][0] the
+// base is res and the first index wi.Global: writes deeper inside a
+// work item's own slot stay legal.
+func writeTarget(e ast.Expr) (base *ast.Ident, firstIndex ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e, nil
+	case *ast.ParenExpr:
+		return writeTarget(e.X)
+	case *ast.SelectorExpr:
+		return writeTarget(e.X)
+	case *ast.StarExpr:
+		return writeTarget(e.X)
+	case *ast.IndexExpr:
+		base, idx := writeTarget(e.X)
+		if idx == nil {
+			idx = e.Index
+		}
+		return base, idx
+	}
+	return nil, nil
+}
+
+// isWiGlobal reports whether e is exactly wi.Global for the body's
+// *cl.WorkItem parameter.
+func isWiGlobal(pass *analysis.Pass, site kernelSite, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Global" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || site.wi == nil {
+		return false
+	}
+	return pass.TypesInfo.Uses[id] == site.wi
+}

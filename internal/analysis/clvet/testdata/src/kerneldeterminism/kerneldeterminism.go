@@ -1,0 +1,47 @@
+// Testdata for the kerneldeterminism analyzer: a kernel's behaviour
+// may depend only on its inputs and wi.Global — never on host clocks,
+// randomness, map iteration order, channels or extra goroutines.
+package kerneldeterminism
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cl"
+)
+
+// good derives everything, including pseudo-randomness, from wi.Global.
+func good(out []int64) *cl.Kernel {
+	return &cl.Kernel{
+		Name:     "good",
+		NewState: func() any { return new(int) },
+		Body: func(wi *cl.WorkItem, s any) {
+			h := int64(wi.Global) * 0x9e3779b9
+			out[wi.Global] = h ^ (h >> 16)
+			wi.Charge(cl.Cost{Items: 1})
+		},
+	}
+}
+
+// bad leaks host scheduling and entropy into kernel results.
+func bad(out []int64, counts map[string]int, ch chan int) *cl.Kernel {
+	return &cl.Kernel{
+		Name: "bad",
+		NewState: func() any {
+			return rand.Int() // want `kernel NewState calls rand\.Int`
+		},
+		Body: func(wi *cl.WorkItem, _ any) {
+			out[wi.Global] = time.Now().UnixNano() // want `kernel body calls time\.Now`
+			out[wi.Global] += rand.Int63()         // want `kernel body calls rand\.Int63`
+			for k := range counts {                // want `kernel body iterates a map`
+				_ = k
+			}
+			go func() { // want `kernel body starts a goroutine`
+				ch <- wi.Global // want `kernel body sends on a channel`
+			}()
+			out[wi.Global] += int64(<-ch) // want `kernel body receives from a channel`
+			time.Sleep(time.Millisecond)  // want `kernel body calls time\.Sleep`
+			wi.Charge(cl.Cost{Items: 1})
+		},
+	}
+}

@@ -208,18 +208,44 @@ func (c *Context) Allocated(dev *Device) int64 {
 	return c.allocated[dev]
 }
 
-// Size returns the buffer size in bytes.
-func (b *Buffer) Size() int64 { return b.size }
+// Size returns the buffer size in bytes. Using a buffer after Free is a
+// host-program bug — the real API would return CL_INVALID_MEM_OBJECT —
+// so it panics with a clear message instead of silently succeeding.
+func (b *Buffer) Size() int64 {
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
+	if b.free {
+		panic(fmt.Sprintf("cl: use of freed %d-byte buffer on %s (CL_INVALID_MEM_OBJECT)",
+			b.size, b.dev.Name))
+	}
+	return b.size
+}
 
-// Free releases the buffer; double frees are no-ops.
+// Valid reports whether the buffer is still allocated.
+func (b *Buffer) Valid() bool {
+	if b == nil {
+		return false
+	}
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
+	return !b.free
+}
+
+// Free releases the buffer; double frees are no-ops. The freed flag is
+// checked and set under the context lock so that two goroutines racing
+// on the same buffer cannot both observe it live and double-decrement
+// the device's allocation accounting.
 func (b *Buffer) Free() {
-	if b == nil || b.free {
+	if b == nil {
+		return
+	}
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
+	if b.free {
 		return
 	}
 	b.free = true
-	b.ctx.mu.Lock()
 	b.ctx.allocated[b.dev] -= b.size
-	b.ctx.mu.Unlock()
 }
 
 // WorkItem is passed to a kernel body for each global index.

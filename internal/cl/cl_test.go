@@ -3,6 +3,7 @@ package cl
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -38,6 +39,43 @@ func TestAllocWithinLimits(t *testing.T) {
 	b.Free() // double free must be a no-op
 	if ctx.Allocated(dev) != 0 {
 		t.Errorf("double free changed accounting: %d", ctx.Allocated(dev))
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	ctx := NewContext()
+	dev := testDevice()
+	b, err := ctx.AllocBuffer(dev, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Valid() {
+		t.Error("fresh buffer reports invalid")
+	}
+	b.Free()
+	if b.Valid() {
+		t.Error("freed buffer reports valid")
+	}
+	// A use after free is a host bug the real API would surface as
+	// CL_INVALID_MEM_OBJECT; the simulation panics with a clear message
+	// rather than silently handing out stale metadata.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Size on freed buffer did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "use of freed") {
+			t.Fatalf("panic = %v, want use-of-freed message", r)
+		}
+	}()
+	_ = b.Size()
+}
+
+func TestNilBufferHandling(t *testing.T) {
+	var b *Buffer
+	b.Free() // must be a no-op, matching the old contract
+	if b.Valid() {
+		t.Error("nil buffer reports valid")
 	}
 }
 

@@ -38,6 +38,34 @@ func TestConcurrentAllocationsAccountCorrectly(t *testing.T) {
 	}
 }
 
+func TestConcurrentFreeDecrementsOnce(t *testing.T) {
+	// Regression: Free used to read and set b.free outside the context
+	// lock, so two goroutines racing on the same buffer could both see
+	// it live and double-decrement the device accounting. Under -race
+	// this test also fails on the unsynchronised flag access itself.
+	ctx := NewContext()
+	dev := testDevice()
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		b, err := ctx.AllocBuffer(dev, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.Free()
+			}()
+		}
+		wg.Wait()
+		if got := ctx.Allocated(dev); got != 0 {
+			t.Fatalf("round %d: allocated = %d want 0 (double decrement)", r, got)
+		}
+	}
+}
+
 func TestQueuesOnSeparateDevicesIndependent(t *testing.T) {
 	d1 := testDevice()
 	d2 := testDevice()

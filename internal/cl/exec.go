@@ -61,9 +61,18 @@ const workGroupSize = 64
 var defaultMode atomic.Int32
 
 func init() {
+	defaultMode.Store(int32(envExecMode()))
+}
+
+// envExecMode maps the REPUTE_CL_EXEC environment variable onto an
+// ExecMode: "serial" forces the serial path, anything else (including
+// unset) defers to Auto, which resolves to Parallel. Read once at
+// process start; SetDefaultExecMode overrides it afterwards.
+func envExecMode() ExecMode {
 	if os.Getenv("REPUTE_CL_EXEC") == "serial" {
-		defaultMode.Store(int32(Serial))
+		return Serial
 	}
+	return Auto
 }
 
 // SetDefaultExecMode replaces the package default execution mode used by

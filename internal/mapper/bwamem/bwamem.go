@@ -9,6 +9,7 @@ package bwamem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/align"
 	"repro/internal/cl"
@@ -102,6 +103,10 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 		rev    []byte
 		locs   []int32
 		window []byte
+		// seen holds the sorted diagonal-bucket keys already extended for
+		// the current strand — the chain dedup that used to be a per-item
+		// map, which the kernel contract forbids (kernelalloc).
+		seen []int32
 	}
 	newState := func() any { return &kernelState{rev: make([]byte, len(reads[0]))} }
 	body := func(wi *cl.WorkItem, state any) {
@@ -123,7 +128,7 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 			}
 			// BWA-MEM re-seeds roughly every ~20 bp along the read.
 			seeds := m.seedsOf(pattern, n/20+1, &itemCost)
-			seen := map[int32]bool{}
+			st.seen = st.seen[:0]
 			for _, sd := range seeds {
 				c := sd.hi - sd.lo
 				if c > maxHitsPerSeed {
@@ -134,10 +139,13 @@ func (m *Mapper) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error)
 				for _, p := range st.locs {
 					cand := p - int32(sd.start)
 					key := cand / int32(opt.MaxErrors+1)
-					if seen[key] {
+					at := sort.Search(len(st.seen), func(i int) bool { return st.seen[i] >= key })
+					if at < len(st.seen) && st.seen[at] == key {
 						continue
 					}
-					seen[key] = true
+					st.seen = append(st.seen, 0)
+					copy(st.seen[at+1:], st.seen[at:])
+					st.seen[at] = key
 					lo := int(cand) - opt.MaxErrors
 					hi := int(cand) + n + opt.MaxErrors
 					if lo < 0 {
