@@ -6,8 +6,10 @@
 //	experiments [-scale tiny|small|medium|full] [-seed N] [-run LIST] [-out FILE]
 //
 // -run selects experiments (comma separated: table1, table2, table3,
-// table4, fig3, fig4, or "all"). -out writes the full markdown report
-// (EXPERIMENTS.md form) in addition to the console tables.
+// table4, fig3, fig4, or "all"). Two extra studies run only when named
+// explicitly: "ablations" (design-choice quantification) and "faults"
+// (the fault-injection recovery sweep). -out writes the full markdown
+// report (EXPERIMENTS.md form) in addition to the console tables.
 package main
 
 import (
@@ -157,6 +159,14 @@ func run(scaleName string, seed int64, runList, outPath, jsonPath string) error 
 			return err
 		}
 		a.Render(os.Stdout)
+		ran = true
+	}
+	if sel("faults") {
+		s, err := bench.RunFaultSweep(ds)
+		if err != nil {
+			return err
+		}
+		s.Render(os.Stdout)
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/mapper"
+)
+
+// Fault sweep: the robustness experiment the paper's hardware section
+// implies but never runs. Each scenario scripts one failure class from
+// real OpenCL deployments — transient launch failures, allocation
+// pressure, thermal throttling, outright device loss, a device too slow
+// for its share — against a two-device split, and checks that the
+// recovered run reports mappings identical to a fault-free run. Only the
+// accounting (retries, halved batches, migrated reads, simulated time
+// and energy) is allowed to differ.
+
+// FaultRow is one scenario's outcome.
+type FaultRow struct {
+	Scenario        string
+	MappedReads     int
+	Identical       bool // mappings equal to the fault-free run's
+	Retries         int
+	DegradedBatches int
+	FailoverReads   int
+	DeadlineReads   int
+	FailedDevices   []string
+	SimSeconds      float64
+	EnergyJ         float64
+}
+
+// FaultSweep is the full scenario table.
+type FaultSweep struct {
+	Reads int
+	Rows  []FaultRow
+}
+
+// RunFaultSweep executes the sweep on the dataset's 100 bp read set.
+func RunFaultSweep(ds *Dataset) (*FaultSweep, error) {
+	// The devices' MaxAlloc is clamped to the index footprint and the
+	// output slots sized so every device share spans several batches —
+	// faults are schedule-based, and without multiple enqueues and
+	// allocations per device there are no ordinals to hit.
+	probe, err := core.New(ds.Ref, []*cl.Device{cl.SystemOneCPU()}, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ixBytes := probe.Index().SizeBytes()
+	maxLoc := int(ixBytes / 128) // => ~16-read batches on clamped devices
+	mkDevs := func() []*cl.Device {
+		a := cl.SystemOneCPU()
+		a.Name = "cpu-0"
+		a.MaxAlloc = ixBytes
+		b := cl.SystemOneCPU()
+		b.Name = "cpu-1"
+		b.MaxAlloc = ixBytes
+		return []*cl.Device{a, b}
+	}
+	reads := ds.Sets[100].Reads
+	if len(reads) > 96 {
+		reads = reads[:96] // 3 batches per device under the 50/50 split
+	}
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	baseline, err := probe.Map(reads, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	scenarios := []struct {
+		name      string
+		planA     *cl.FaultPlan // armed on cpu-0
+		planB     *cl.FaultPlan // armed on cpu-1
+		deadlines []float64
+	}{
+		{name: "fault-free"},
+		{
+			name:  "transient launch faults",
+			planA: &cl.FaultPlan{FailEnqueues: map[int]cl.Code{2: cl.OutOfResources}},
+			planB: &cl.FaultPlan{FailEnqueues: map[int]cl.Code{1: cl.OutOfResources, 3: cl.OutOfResources}},
+		},
+		{
+			name:  "allocation pressure",
+			planA: &cl.FaultPlan{FailAllocs: map[int]cl.Code{4: cl.MemObjectAllocationFailure}},
+		},
+		{
+			name:  "thermal throttle",
+			planA: &cl.FaultPlan{Throttles: []cl.Throttle{{From: 2, To: 4, Factor: 0.5}}},
+		},
+		{
+			name:  "device loss mid-run",
+			planB: &cl.FaultPlan{FailEnqueues: map[int]cl.Code{2: cl.DeviceNotAvailable}},
+		},
+		{
+			name:      "deadline migration",
+			deadlines: []float64{1e-12, 0},
+		},
+		{
+			name:  "compound (loss + transients)",
+			planA: &cl.FaultPlan{FailEnqueues: map[int]cl.Code{2: cl.OutOfResources}, FailAllocs: map[int]cl.Code{4: cl.MemObjectAllocationFailure}},
+			planB: &cl.FaultPlan{FailEnqueues: map[int]cl.Code{3: cl.DeviceNotAvailable}},
+		},
+	}
+
+	out := &FaultSweep{Reads: len(reads)}
+	for _, sc := range scenarios {
+		devs := mkDevs()
+		devs[0].InstallFaults(sc.planA)
+		devs[1].InstallFaults(sc.planB)
+		p, err := core.NewFromIndex(probe.Index(), devs, core.Config{
+			Split: []float64{0.5, 0.5}, Deadlines: sc.deadlines,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fault sweep %q: %w", sc.name, err)
+		}
+		res, err := p.Map(reads, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fault sweep %q: %w", sc.name, err)
+		}
+		same, _ := eval.IdenticalMappings(baseline.Mappings, res.Mappings)
+		out.Rows = append(out.Rows, FaultRow{
+			Scenario:        sc.name,
+			MappedReads:     res.MappedReads(),
+			Identical:       same,
+			Retries:         res.Faults.Retries,
+			DegradedBatches: res.Faults.DegradedBatches,
+			FailoverReads:   res.Faults.FailoverReads,
+			DeadlineReads:   res.Faults.DeadlineReads,
+			FailedDevices:   res.Faults.FailedDevices,
+			SimSeconds:      res.SimSeconds,
+			EnergyJ:         res.EnergyJ,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the sweep table.
+func (s *FaultSweep) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fault sweep: recovery under injected faults (%d reads, 2-device split)\n", s.Reads)
+	fmt.Fprintf(w, "  %-26s %7s %9s %7s %7s %8s %8s %10s %10s  %s\n",
+		"scenario", "mapped", "identical", "retries", "halved", "failover", "deadline", "T(sim s)", "E(J)", "lost devices")
+	for _, r := range s.Rows {
+		lost := "-"
+		if len(r.FailedDevices) > 0 {
+			lost = strings.Join(r.FailedDevices, ",")
+		}
+		fmt.Fprintf(w, "  %-26s %7d %9v %7d %7d %8d %8d %10.5f %10.3f  %s\n",
+			r.Scenario, r.MappedReads, r.Identical, r.Retries, r.DegradedBatches,
+			r.FailoverReads, r.DeadlineReads, r.SimSeconds, r.EnergyJ, lost)
+	}
+}

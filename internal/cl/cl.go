@@ -117,6 +117,10 @@ type Device struct {
 	// TransferBytesPerSec models the host link for discrete devices;
 	// 0 means host-shared memory (no transfer cost).
 	TransferBytesPerSec float64
+
+	// faults is the armed fault-injection plan plus its ordinal
+	// counters; nil (the default) injects nothing. See InstallFaults.
+	faults *faultState
 }
 
 // Occupancy returns how many work items one CU co-executes for a kernel
@@ -177,11 +181,24 @@ func (e *AllocError) Error() string {
 		e.Requested, e.Device, e.Reason, e.Limit)
 }
 
+// Is folds AllocError into the status-code taxonomy (errors.go): it
+// matches the MemObjectAllocationFailure sentinel under errors.Is, like
+// the *Error an injected allocation fault produces.
+func (e *AllocError) Is(target error) bool {
+	c, ok := target.(Code)
+	return ok && c == MemObjectAllocationFailure
+}
+
 // AllocBuffer reserves size bytes on dev, enforcing the MaxAlloc and
 // total-memory limits.
 func (c *Context) AllocBuffer(dev *Device, size int64) (*Buffer, error) {
 	if size <= 0 {
 		return nil, &AllocError{Device: dev.Name, Requested: size, Reason: "non-positive size"}
+	}
+	if fs := dev.faults; fs != nil {
+		if err := fs.admitAlloc(dev.Name, size); err != nil {
+			return nil, err
+		}
 	}
 	if size > dev.MaxAlloc {
 		return nil, &AllocError{
@@ -208,10 +225,15 @@ func (c *Context) Allocated(dev *Device) int64 {
 	return c.allocated[dev]
 }
 
-// Size returns the buffer size in bytes. Using a buffer after Free is a
-// host-program bug — the real API would return CL_INVALID_MEM_OBJECT —
-// so it panics with a clear message instead of silently succeeding.
+// Size returns the buffer size in bytes, or 0 for a nil buffer (the
+// same nil-receiver contract as Free and Valid). Using a buffer after
+// Free is a host-program bug — the real API would return
+// CL_INVALID_MEM_OBJECT — so it panics with a clear message instead of
+// silently succeeding.
 func (b *Buffer) Size() int64 {
+	if b == nil {
+		return 0
+	}
 	b.ctx.mu.Lock()
 	defer b.ctx.mu.Unlock()
 	if b.free {
@@ -322,9 +344,22 @@ func (q *Queue) SetExecMode(m ExecMode) { q.mode = m }
 // execution by construction. A panic in any kernel body — on any worker —
 // is converted into a single error, matching a CL_OUT_OF_RESOURCES-style
 // launch failure rather than a host crash.
+//
+// When a fault plan is armed on the device (InstallFaults), the enqueue
+// first passes through the injector: a scheduled fault fails the launch
+// with a typed *Error — no work items run, no event is recorded, no cost
+// is charged — and a scheduled throttle slows the event's compute time.
 func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 	if globalSize < 0 {
 		return Event{}, fmt.Errorf("cl: kernel %s: negative global size %d", k.Name, globalSize)
+	}
+	throttle := 1.0
+	if fs := q.dev.faults; fs != nil {
+		factor, ferr := fs.admitEnqueue(q.dev.Name, k.Name)
+		if ferr != nil {
+			return Event{}, ferr
+		}
+		throttle = factor
 	}
 	total, err := q.mode.run(k, globalSize)
 	if err != nil {
@@ -334,7 +369,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 		Kernel:     k.Name,
 		GlobalSize: globalSize,
 		Cost:       total,
-		SimSeconds: q.dev.simSeconds(k, total),
+		SimSeconds: q.dev.simSeconds(k, total, throttle),
 	}
 	q.events = append(q.events, ev)
 	q.busyTotal += ev.SimSeconds
@@ -343,14 +378,19 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 }
 
 // simSeconds converts a kernel's aggregate cost into simulated seconds on
-// the device.
-func (d *Device) simSeconds(k *Kernel, c Cost) float64 {
+// the device. throttle scales the effective lane rate (1 = full speed);
+// launch overhead and host transfer are rate-independent.
+func (d *Device) simSeconds(k *Kernel, c Cost, throttle float64) float64 {
 	cycles := d.Weights.Cycles(c)
 	parallel := float64(d.ComputeUnits * d.Occupancy(k.PrivateBytesPerItem))
 	if parallel < 1 {
 		parallel = 1
 	}
-	t := cycles / (parallel * d.LaneHz)
+	hz := d.LaneHz
+	if throttle > 0 {
+		hz *= throttle
+	}
+	t := cycles / (parallel * hz)
 	t += d.LaunchOverheadSec
 	if d.TransferBytesPerSec > 0 && c.Bytes > 0 {
 		t += float64(c.Bytes) / d.TransferBytesPerSec
@@ -358,8 +398,23 @@ func (d *Device) simSeconds(k *Kernel, c Cost) float64 {
 	return t
 }
 
-// Events returns the recorded events.
-func (q *Queue) Events() []Event { return q.events }
+// Events returns a copy of the recorded events. Callers may sort, filter
+// or append to the result without corrupting the queue's log.
+func (q *Queue) Events() []Event {
+	out := make([]Event, len(q.events))
+	copy(out, q.events)
+	return out
+}
+
+// ChargePenalty adds sec simulated seconds of non-kernel device time to
+// the queue — retry backoff, recovery pauses — so Finish and EnergyJ
+// account recovery the way they account kernel work. Non-positive
+// charges are ignored.
+func (q *Queue) ChargePenalty(sec float64) {
+	if sec > 0 {
+		q.busyTotal += sec
+	}
+}
 
 // Finish returns the queue's total simulated busy time and the summed
 // cost, mirroring clFinish plus profiling-event collection. The totals

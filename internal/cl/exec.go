@@ -185,6 +185,11 @@ func runParallel(k *Kernel, globalSize, workers, groups int) (Cost, error) {
 	return total, nil
 }
 
+// launchError converts a kernel-body panic into the typed launch
+// failure a real runtime would report. Op "launch" marks it permanent
+// for retry classification (IsTransient): the panic is deterministic, so
+// re-running the same range can only panic again.
 func launchError(k *Kernel, r any) error {
-	return fmt.Errorf("cl: kernel %s aborted: %v", k.Name, r)
+	return &Error{Code: OutOfResources, Op: "launch", Kernel: k.Name,
+		Detail: fmt.Sprintf("kernel aborted: %v", r)}
 }

@@ -1,0 +1,234 @@
+package cl
+
+// Deterministic fault injection for the simulated runtime. Real OpenCL
+// deployments on the paper's hardware mix (discrete GPUs on a desktop
+// bus, a passively cooled big.LITTLE SoC) fail in well-known ways:
+// transient CL_OUT_OF_RESOURCES launch failures, allocation failures
+// under memory pressure, thermal throttling, and outright device loss.
+// A FaultPlan scripts those failures against a device so the host
+// pipeline's recovery paths can be exercised and tested.
+//
+// Plans are schedule-based, never clock- or rand-based: a fault fires on
+// the Nth enqueue or Nth allocation of its device, and a throttle covers
+// a window of enqueue ordinals. Serial and parallel host execution issue
+// the same per-device enqueue/alloc sequence, so both observe identical
+// faults and simulated results stay bit-identical — the same determinism
+// contract clvet enforces inside kernels (DESIGN.md §8).
+//
+// DESIGN.md §9 documents the full fault model and the recovery policies
+// internal/core builds on top of this injector.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Throttle slows a device's effective lane rate within a window of
+// enqueues — the simulated analogue of thermal throttling. Factor
+// multiplies LaneHz for enqueue ordinals in [From, To] (1-based,
+// inclusive): Factor 0.5 halves the rate, doubling the compute portion
+// of each covered enqueue's simulated time (launch overhead and host
+// transfer are unaffected).
+type Throttle struct {
+	From, To int
+	Factor   float64
+}
+
+// FaultPlan schedules deterministic faults for one device. Ordinals are
+// 1-based and count attempts, including failed ones — a retry of a
+// failed enqueue consumes the next ordinal, so a plan that fails k
+// consecutive ordinals defeats k-1 in-place retries. A
+// DeviceNotAvailable fault is permanent: every later enqueue and
+// allocation on the device fails with the same code.
+type FaultPlan struct {
+	// FailEnqueues maps an enqueue ordinal to the injected status code
+	// (typically OutOfResources or DeviceNotAvailable). The failed
+	// enqueue runs no work items and records no event.
+	FailEnqueues map[int]Code
+	// FailAllocs maps an allocation ordinal to the injected status code
+	// (typically MemObjectAllocationFailure). The failed allocation
+	// reserves nothing.
+	FailAllocs map[int]Code
+	// Throttles slow enqueue windows; overlapping windows compound.
+	Throttles []Throttle
+}
+
+// faultState is a FaultPlan armed on one device: the plan plus the
+// device's ordinal counters, guarded so concurrent queues on one device
+// count consistently. The plan's maps are only read — one plan value may
+// arm many devices.
+type faultState struct {
+	mu    sync.Mutex
+	plan  FaultPlan
+	enq   int
+	alloc int
+	dead  bool
+}
+
+// InstallFaults arms plan on d; nil disarms. Ordinal counters start
+// fresh on every call. Arm a device before using it — installation is
+// not synchronised against in-flight enqueues.
+func (d *Device) InstallFaults(plan *FaultPlan) {
+	if plan == nil {
+		d.faults = nil
+		return
+	}
+	d.faults = &faultState{plan: *plan}
+}
+
+// FaultsInstalled reports whether a fault plan is armed on d.
+func (d *Device) FaultsInstalled() bool { return d.faults != nil }
+
+// admitEnqueue advances the device's enqueue ordinal and returns either
+// the throttle factor for this enqueue or the injected failure.
+func (s *faultState) admitEnqueue(dev, kernel string) (factor float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enq++
+	if s.dead {
+		return 1, &Error{Code: DeviceNotAvailable, Op: "enqueue", Device: dev, Kernel: kernel,
+			Detail: "device lost"}
+	}
+	if code, ok := s.plan.FailEnqueues[s.enq]; ok {
+		if code == DeviceNotAvailable {
+			s.dead = true
+		}
+		return 1, &Error{Code: code, Op: "enqueue", Device: dev, Kernel: kernel,
+			Detail: fmt.Sprintf("injected at enqueue %d", s.enq)}
+	}
+	factor = 1
+	for _, t := range s.plan.Throttles {
+		if t.Factor > 0 && s.enq >= t.From && s.enq <= t.To {
+			factor *= t.Factor
+		}
+	}
+	return factor, nil
+}
+
+// admitAlloc advances the device's allocation ordinal and returns the
+// injected failure, if any.
+func (s *faultState) admitAlloc(dev string, size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alloc++
+	if s.dead {
+		return &Error{Code: DeviceNotAvailable, Op: "alloc", Device: dev, Detail: "device lost"}
+	}
+	if code, ok := s.plan.FailAllocs[s.alloc]; ok {
+		if code == DeviceNotAvailable {
+			s.dead = true
+		}
+		return &Error{Code: code, Op: "alloc", Device: dev,
+			Detail: fmt.Sprintf("injected at allocation %d (%d B)", s.alloc, size)}
+	}
+	return nil
+}
+
+// ParseFaultPlan parses the compact plan syntax used by the
+// REPUTE_CL_FAULTS environment variable: comma-separated directives
+//
+//	enqN=CODE       fail the Nth enqueue
+//	allocN=CODE     fail the Nth allocation
+//	throttleA-B=F   multiply LaneHz by F for enqueues A..B
+//
+// with CODE one of "oor" (CL_OUT_OF_RESOURCES), "alloc"
+// (CL_MEM_OBJECT_ALLOCATION_FAILURE) or "lost"
+// (CL_DEVICE_NOT_AVAILABLE). Example: "enq2=oor,alloc3=alloc,throttle4-6=0.5".
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	p := &FaultPlan{FailEnqueues: map[int]Code{}, FailAllocs: map[int]Code{}}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("cl: fault directive %q: missing '='", tok)
+		}
+		switch {
+		case strings.HasPrefix(key, "enq"):
+			n, err := parseOrdinal(key[len("enq"):])
+			if err != nil {
+				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+			}
+			code, err := parseFaultCode(val)
+			if err != nil {
+				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+			}
+			p.FailEnqueues[n] = code
+		case strings.HasPrefix(key, "alloc"):
+			n, err := parseOrdinal(key[len("alloc"):])
+			if err != nil {
+				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+			}
+			code, err := parseFaultCode(val)
+			if err != nil {
+				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+			}
+			p.FailAllocs[n] = code
+		case strings.HasPrefix(key, "throttle"):
+			froms, tos, ok := strings.Cut(key[len("throttle"):], "-")
+			if !ok {
+				return nil, fmt.Errorf("cl: fault directive %q: want throttleA-B=F", tok)
+			}
+			from, err := parseOrdinal(froms)
+			if err != nil {
+				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+			}
+			to, err := parseOrdinal(tos)
+			if err != nil || to < from {
+				return nil, fmt.Errorf("cl: fault directive %q: bad window", tok)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return nil, fmt.Errorf("cl: fault directive %q: factor must be in (0, 1]", tok)
+			}
+			p.Throttles = append(p.Throttles, Throttle{From: from, To: to, Factor: f})
+		default:
+			return nil, fmt.Errorf("cl: unknown fault directive %q", tok)
+		}
+	}
+	return p, nil
+}
+
+func parseOrdinal(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad ordinal %q (want integer >= 1)", s)
+	}
+	return n, nil
+}
+
+func parseFaultCode(s string) (Code, error) {
+	switch s {
+	case "oor":
+		return OutOfResources, nil
+	case "alloc":
+		return MemObjectAllocationFailure, nil
+	case "lost":
+		return DeviceNotAvailable, nil
+	}
+	return Success, fmt.Errorf("unknown fault code %q (oor, alloc, lost)", s)
+}
+
+// EnvFaultPlan returns the fault plan named by the REPUTE_CL_FAULTS
+// environment variable, or nil when it is unset. core.Pipeline.Map arms
+// the plan on every device without an explicit one, so setting the
+// variable turns any pipeline run into a chaos run — CI uses it to drive
+// the whole core test suite through the recovery paths under -race. A
+// malformed value panics: a chaos run that silently injects nothing
+// would be worse than no chaos run.
+func EnvFaultPlan() *FaultPlan {
+	s := os.Getenv("REPUTE_CL_FAULTS")
+	if s == "" {
+		return nil
+	}
+	p, err := ParseFaultPlan(s)
+	if err != nil {
+		panic("cl: REPUTE_CL_FAULTS: " + err.Error())
+	}
+	return p
+}

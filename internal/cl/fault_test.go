@@ -1,0 +1,326 @@
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// itemKernel is a trivial kernel charging one Item per work item, so the
+// fault tests can predict simulated seconds exactly.
+func itemKernel() *Kernel {
+	return &Kernel{
+		Name: "item",
+		Body: func(wi *WorkItem, _ any) { wi.Charge(Cost{Items: 1}) },
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	launch := &Error{Code: OutOfResources, Op: "launch", Kernel: "k"}
+	enq := &Error{Code: OutOfResources, Op: "enqueue", Device: "d"}
+	lost := &Error{Code: DeviceNotAvailable, Op: "enqueue", Device: "d"}
+	allocInj := &Error{Code: MemObjectAllocationFailure, Op: "alloc", Device: "d"}
+	allocStruct := &AllocError{Device: "d", Requested: 10, Limit: 5, Reason: "too big"}
+
+	// Sentinel matching, including through fmt.Errorf wrapping.
+	if !errors.Is(enq, OutOfResources) {
+		t.Error("enqueue fault does not match OutOfResources sentinel")
+	}
+	if !errors.Is(fmt.Errorf("wrapped: %w", lost), DeviceNotAvailable) {
+		t.Error("wrapped device loss does not match DeviceNotAvailable")
+	}
+	if !errors.Is(allocStruct, MemObjectAllocationFailure) {
+		t.Error("structural AllocError does not fold into MemObjectAllocationFailure")
+	}
+	if errors.Is(enq, DeviceNotAvailable) {
+		t.Error("OutOfResources fault matches the wrong sentinel")
+	}
+
+	// Code extraction.
+	if c := CodeOf(fmt.Errorf("x: %w", allocInj)); c != MemObjectAllocationFailure {
+		t.Errorf("CodeOf(injected alloc) = %v", c)
+	}
+	if c := CodeOf(allocStruct); c != MemObjectAllocationFailure {
+		t.Errorf("CodeOf(structural alloc) = %v", c)
+	}
+	if c := CodeOf(errors.New("plain")); c != Success {
+		t.Errorf("CodeOf(plain) = %v", c)
+	}
+
+	// Retry classification: launch panics and structural allocation
+	// failures are permanent, injected resource faults transient.
+	if !IsTransient(fmt.Errorf("x: %w", enq)) {
+		t.Error("enqueue OutOfResources not transient")
+	}
+	if !IsTransient(allocInj) {
+		t.Error("injected allocation failure not transient")
+	}
+	if IsTransient(launch) {
+		t.Error("launch failure (kernel panic) classified transient")
+	}
+	if IsTransient(allocStruct) {
+		t.Error("structural allocation failure classified transient")
+	}
+	if IsTransient(lost) {
+		t.Error("device loss classified transient")
+	}
+
+	if !IsAllocFailure(allocInj) || !IsAllocFailure(allocStruct) {
+		t.Error("IsAllocFailure misses an allocation failure kind")
+	}
+	if !IsDeviceLost(fmt.Errorf("x: %w", lost)) || IsDeviceLost(enq) {
+		t.Error("IsDeviceLost misclassifies")
+	}
+
+	// Code strings are the OpenCL names the logs should show.
+	if s := OutOfResources.String(); s != "CL_OUT_OF_RESOURCES" {
+		t.Errorf("OutOfResources.String() = %q", s)
+	}
+	if !strings.Contains(launch.Error(), "CL_OUT_OF_RESOURCES") {
+		t.Errorf("Error() lacks code name: %q", launch.Error())
+	}
+}
+
+func TestFaultPlanFailsScheduledEnqueue(t *testing.T) {
+	dev := testDevice()
+	dev.InstallFaults(&FaultPlan{FailEnqueues: map[int]Code{2: OutOfResources}})
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+
+	if _, err := q.EnqueueNDRange(itemKernel(), 4); err != nil {
+		t.Fatalf("enqueue 1: %v", err)
+	}
+	busy1, cost1 := q.Finish()
+
+	_, err := q.EnqueueNDRange(itemKernel(), 4)
+	if !errors.Is(err, OutOfResources) {
+		t.Fatalf("enqueue 2 err = %v, want CL_OUT_OF_RESOURCES", err)
+	}
+	// The failed enqueue runs nothing: no event, no time, no cost.
+	busy2, cost2 := q.Finish()
+	if busy2 != busy1 || cost2 != cost1 || len(q.Events()) != 1 {
+		t.Errorf("failed enqueue charged work: busy %v->%v cost %+v->%+v events %d",
+			busy1, busy2, cost1, cost2, len(q.Events()))
+	}
+
+	if _, err := q.EnqueueNDRange(itemKernel(), 4); err != nil {
+		t.Fatalf("enqueue 3 after transient fault: %v", err)
+	}
+}
+
+func TestFaultPlanDeviceLossIsSticky(t *testing.T) {
+	dev := testDevice()
+	dev.InstallFaults(&FaultPlan{FailEnqueues: map[int]Code{1: DeviceNotAvailable}})
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+
+	if _, err := q.EnqueueNDRange(itemKernel(), 1); !errors.Is(err, DeviceNotAvailable) {
+		t.Fatalf("enqueue 1 err = %v, want CL_DEVICE_NOT_AVAILABLE", err)
+	}
+	// Every later operation on the device fails the same way.
+	for i := 0; i < 3; i++ {
+		if _, err := q.EnqueueNDRange(itemKernel(), 1); !errors.Is(err, DeviceNotAvailable) {
+			t.Fatalf("post-loss enqueue err = %v", err)
+		}
+	}
+	if _, err := NewContext().AllocBuffer(dev, 64); !errors.Is(err, DeviceNotAvailable) {
+		t.Fatalf("post-loss alloc err = %v", err)
+	}
+}
+
+func TestFaultPlanFailsScheduledAlloc(t *testing.T) {
+	dev := testDevice()
+	dev.InstallFaults(&FaultPlan{FailAllocs: map[int]Code{2: MemObjectAllocationFailure}})
+	ctx := NewContext()
+
+	b, err := ctx.AllocBuffer(dev, 64)
+	if err != nil {
+		t.Fatalf("alloc 1: %v", err)
+	}
+	defer b.Free()
+	if _, err := ctx.AllocBuffer(dev, 64); !errors.Is(err, MemObjectAllocationFailure) {
+		t.Fatalf("alloc 2 err = %v, want CL_MEM_OBJECT_ALLOCATION_FAILURE", err)
+	}
+	// Nothing was reserved by the failed allocation.
+	if got := ctx.Allocated(dev); got != 64 {
+		t.Errorf("allocated = %d, want 64", got)
+	}
+	b2, err := ctx.AllocBuffer(dev, 64)
+	if err != nil {
+		t.Fatalf("alloc 3 after transient fault: %v", err)
+	}
+	b2.Free()
+}
+
+func TestThrottleWindowSlowsExactEnqueues(t *testing.T) {
+	// A device with only Item weight, one lane, no overhead: an N-item
+	// enqueue takes N*Item/LaneHz seconds, so throttling is exact.
+	dev := &Device{
+		Name: "throttled", ComputeUnits: 1, LanesPerCU: 1, LaneHz: 1e9,
+		GlobalMem: 1 << 20, MaxAlloc: 1 << 18, PowerW: 1,
+		Weights: Weights{Item: 1000},
+	}
+	dev.InstallFaults(&FaultPlan{Throttles: []Throttle{{From: 2, To: 3, Factor: 0.5}}})
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+	for i := 0; i < 4; i++ {
+		if _, err := q.EnqueueNDRange(itemKernel(), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := q.Events()
+	full := evs[0].SimSeconds
+	for i, want := range []float64{full, 2 * full, 2 * full, full} {
+		if evs[i].SimSeconds != want {
+			t.Errorf("enqueue %d: SimSeconds = %v, want %v", i+1, evs[i].SimSeconds, want)
+		}
+	}
+}
+
+func TestOverlappingThrottlesCompound(t *testing.T) {
+	dev := &Device{
+		Name: "throttled", ComputeUnits: 1, LanesPerCU: 1, LaneHz: 1e9,
+		GlobalMem: 1 << 20, MaxAlloc: 1 << 18, PowerW: 1,
+		Weights: Weights{Item: 1000},
+	}
+	dev.InstallFaults(&FaultPlan{Throttles: []Throttle{
+		{From: 1, To: 2, Factor: 0.5},
+		{From: 2, To: 2, Factor: 0.5},
+	}})
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+	for i := 0; i < 3; i++ {
+		if _, err := q.EnqueueNDRange(itemKernel(), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := q.Events()
+	full := evs[2].SimSeconds
+	if evs[0].SimSeconds != 2*full || evs[1].SimSeconds != 4*full {
+		t.Errorf("throttled times %v, %v; want %v, %v",
+			evs[0].SimSeconds, evs[1].SimSeconds, 2*full, 4*full)
+	}
+}
+
+func TestInstallFaultsResetsOrdinals(t *testing.T) {
+	dev := testDevice()
+	plan := &FaultPlan{FailEnqueues: map[int]Code{1: OutOfResources}}
+	dev.InstallFaults(plan)
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+	if _, err := q.EnqueueNDRange(itemKernel(), 1); !errors.Is(err, OutOfResources) {
+		t.Fatalf("first armed enqueue err = %v", err)
+	}
+	if _, err := q.EnqueueNDRange(itemKernel(), 1); err != nil {
+		t.Fatalf("second enqueue: %v", err)
+	}
+	// Re-arming starts the schedule over.
+	dev.InstallFaults(plan)
+	if _, err := q.EnqueueNDRange(itemKernel(), 1); !errors.Is(err, OutOfResources) {
+		t.Fatalf("re-armed enqueue err = %v", err)
+	}
+	// Disarming stops injection entirely.
+	dev.InstallFaults(nil)
+	if dev.FaultsInstalled() {
+		t.Error("FaultsInstalled after disarm")
+	}
+	if _, err := q.EnqueueNDRange(itemKernel(), 1); err != nil {
+		t.Fatalf("disarmed enqueue: %v", err)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("enq2=oor, alloc3=alloc,enq5=lost,throttle4-6=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FailEnqueues[2] != OutOfResources || p.FailEnqueues[5] != DeviceNotAvailable {
+		t.Errorf("FailEnqueues = %v", p.FailEnqueues)
+	}
+	if p.FailAllocs[3] != MemObjectAllocationFailure {
+		t.Errorf("FailAllocs = %v", p.FailAllocs)
+	}
+	if len(p.Throttles) != 1 || p.Throttles[0] != (Throttle{From: 4, To: 6, Factor: 0.5}) {
+		t.Errorf("Throttles = %v", p.Throttles)
+	}
+
+	for _, bad := range []string{
+		"enq2",              // missing '='
+		"enq0=oor",          // ordinal < 1
+		"enqX=oor",          // non-numeric ordinal
+		"enq2=boom",         // unknown code
+		"alloc2=2",          // unknown code
+		"throttle2=0.5",     // missing window
+		"throttle5-2=0.5",   // inverted window
+		"throttle1-2=0",     // factor out of range
+		"throttle1-2=1.5",   // factor out of range
+		"frobnicate2=oor",   // unknown directive
+		"enq1=oor,,enq2=??", // second directive bad
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEnvFaultPlan(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	if EnvFaultPlan() != nil {
+		t.Error("unset env produced a plan")
+	}
+	t.Setenv("REPUTE_CL_FAULTS", "enq1=oor")
+	p := EnvFaultPlan()
+	if p == nil || p.FailEnqueues[1] != OutOfResources {
+		t.Errorf("env plan = %+v", p)
+	}
+	t.Setenv("REPUTE_CL_FAULTS", "enq1=nonsense")
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed REPUTE_CL_FAULTS did not panic")
+		}
+	}()
+	EnvFaultPlan()
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	dev := testDevice()
+	q := NewQueue(dev)
+	q.SetExecMode(Serial)
+	if _, err := q.EnqueueNDRange(itemKernel(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRange(itemKernel(), 2); err != nil {
+		t.Fatal(err)
+	}
+	evs := q.Events()
+	evs[0].Kernel = "corrupted"
+	evs = evs[:1]
+	_ = append(evs, Event{Kernel: "alien"})
+	fresh := q.Events()
+	if len(fresh) != 2 || fresh[0].Kernel != "item" || fresh[1].Kernel != "item" {
+		t.Errorf("queue log corrupted through Events(): %+v", fresh)
+	}
+}
+
+func TestNilBufferSizeIsZero(t *testing.T) {
+	var b *Buffer
+	if got := b.Size(); got != 0 {
+		t.Errorf("nil Buffer.Size() = %d, want 0", got)
+	}
+}
+
+func TestChargePenaltyAddsBusyAndEnergy(t *testing.T) {
+	dev := testDevice()
+	q := NewQueue(dev)
+	q.ChargePenalty(0.5)
+	q.ChargePenalty(-1) // ignored
+	q.ChargePenalty(0)  // ignored
+	busy, _ := q.Finish()
+	if busy != 0.5 {
+		t.Errorf("busy = %v, want 0.5", busy)
+	}
+	if got, want := q.EnergyJ(), 0.5*dev.PowerW; got != want {
+		t.Errorf("EnergyJ = %v, want %v", got, want)
+	}
+}

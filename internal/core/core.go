@@ -14,7 +14,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/align"
@@ -50,16 +52,23 @@ type Config struct {
 	// results are identical either way — cl.Serial exists for debugging
 	// and for determinism regression tests.
 	Exec cl.ExecMode
+	// Deadlines, when non-nil, gives each device a simulated-seconds
+	// budget (one entry per device, 0 = unlimited): once a device's
+	// accumulated busy time crosses its deadline, its remaining batches
+	// migrate to the other devices — the recovery path for a device that
+	// is alive but too slow (thermal throttling, a contended lane).
+	Deadlines []float64
 }
 
 // Pipeline is a REPUTE-style mapper bound to a reference and devices.
 type Pipeline struct {
-	name     string
-	ix       *fmindex.Index
-	devices  []*cl.Device
-	split    []float64
-	selector seed.Selector
-	exec     cl.ExecMode
+	name      string
+	ix        *fmindex.Index
+	devices   []*cl.Device
+	split     []float64
+	selector  seed.Selector
+	exec      cl.ExecMode
+	deadlines []float64
 }
 
 // New builds the index from ref and returns the pipeline.
@@ -89,7 +98,12 @@ func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipelin
 		return nil, fmt.Errorf("core: split has %d entries for %d devices",
 			len(split), len(devices))
 	}
-	return &Pipeline{name: name, ix: ix, devices: devices, split: split, selector: sel, exec: cfg.Exec}, nil
+	if cfg.Deadlines != nil && len(cfg.Deadlines) != len(devices) {
+		return nil, fmt.Errorf("core: deadlines has %d entries for %d devices",
+			len(cfg.Deadlines), len(devices))
+	}
+	return &Pipeline{name: name, ix: ix, devices: devices, split: split,
+		selector: sel, exec: cfg.Exec, deadlines: cfg.Deadlines}, nil
 }
 
 // Name implements mapper.Mapper.
@@ -192,102 +206,354 @@ func (p *Pipeline) shares(total int) []int {
 	return counts
 }
 
+// pending is a half-open span [start, end) of global read indices still
+// awaiting mapping. The failover machinery moves spans, not individual
+// reads, so redistribution stays O(devices) per round.
+type pending struct{ start, end int }
+
+// spanReads counts the reads covered by spans.
+func spanReads(spans []pending) int {
+	n := 0
+	for _, sp := range spans {
+		n += sp.end - sp.start
+	}
+	return n
+}
+
+// outcome is one device's report at a round barrier: which spans it did
+// not finish, why it stopped, and the recovery work it performed.
+type outcome struct {
+	unmapped []pending
+	failed   bool // permanent device failure — fail the spans over
+	deadline bool // simulated-seconds budget exceeded — migrate the spans
+	err      error
+	stats    mapper.FaultStats
+}
+
 // Map implements mapper.Mapper. Each device's share runs in its own host
 // goroutine over its own queue — the paper's task-parallel model — and
-// the shares join at a barrier before aggregation. Aggregation happens
-// in device order, so simulated seconds, energy and cost are independent
-// of which device's goroutine finishes first.
+// the shares join at a barrier before aggregation.
+//
+// The barrier is also the recovery point: a device that fails permanently
+// (CL_DEVICE_NOT_AVAILABLE, a deterministic kernel fault, an infeasible
+// allocation) or exceeds its simulated-seconds deadline reports its
+// unfinished spans, and Map redistributes them across the surviving
+// devices in another round. Transient faults never reach the barrier —
+// mapOnDevice retries them in place. Map fails only when no device can
+// finish the workload.
+//
+// Recovery changes where and when work runs, never what it computes:
+// mappings and Cost are identical to a fault-free run (the determinism
+// suite asserts this), while SimSeconds accumulates each round's makespan
+// and mapper.Result.Faults accounts the recovery actions.
+//
+// Aggregation happens in device order, so simulated seconds, energy and
+// cost are independent of which device's goroutine finishes first.
 func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error) {
 	opt = opt.WithDefaults()
 	if err := mapper.ValidateReads(reads, opt); err != nil {
 		return nil, err
 	}
+	// Chaos hook: REPUTE_CL_FAULTS arms its plan on every device that has
+	// no explicit one, turning any pipeline run into a fault-recovery run.
+	if plan := cl.EnvFaultPlan(); plan != nil {
+		for _, dev := range p.devices {
+			if !dev.FaultsInstalled() {
+				dev.InstallFaults(plan)
+			}
+		}
+	}
 	res := &mapper.Result{
 		Mappings:      make([][]mapper.Mapping, len(reads)),
 		DeviceSeconds: map[string]float64{},
 	}
-	counts := p.shares(len(reads))
 	ctx := cl.NewContext()
-	type devShare struct {
-		busy, energy float64
-		cost         cl.Cost
-		err          error
-		ran          bool
+	queues := make([]*cl.Queue, len(p.devices))
+	for i, dev := range p.devices {
+		queues[i] = cl.NewQueue(dev)
+		queues[i].SetExecMode(p.exec)
 	}
-	shares := make([]devShare, len(p.devices))
-	var wg sync.WaitGroup
+
+	// Initial assignment: the configured split, as contiguous spans.
+	assign := make([][]pending, len(p.devices))
 	offset := 0
-	for di, dev := range p.devices {
-		n := counts[di]
-		if n == 0 {
-			continue
+	for di, n := range p.shares(len(reads)) {
+		if n > 0 {
+			assign[di] = []pending{{offset, offset + n}}
+			offset += n
 		}
-		chunk := reads[offset : offset+n]
-		out := res.Mappings[offset : offset+n]
-		offset += n
-		wg.Add(1)
-		go func(di int, dev *cl.Device) {
-			defer wg.Done()
-			s := &shares[di]
-			s.ran = true
-			s.busy, s.energy, s.cost, s.err = p.mapOnDevice(ctx, dev, chunk, out, opt)
-		}(di, dev)
 	}
-	wg.Wait()
+
+	eligible := make([]bool, len(p.devices))
+	for i := range eligible {
+		eligible[i] = true
+	}
+	ran := make([]bool, len(p.devices))
+	var devErrs []error
+	for {
+		outs := make([]outcome, len(p.devices))
+		busyBefore := make([]float64, len(p.devices))
+		var wg sync.WaitGroup
+		for di := range p.devices {
+			if len(assign[di]) == 0 {
+				continue
+			}
+			ran[di] = true
+			busyBefore[di], _ = queues[di].Finish()
+			wg.Add(1)
+			go func(di int) {
+				defer wg.Done()
+				outs[di] = p.mapOnDevice(ctx, queues[di], assign[di], reads, res.Mappings, opt, p.deadlineFor(di))
+			}(di)
+		}
+		wg.Wait()
+
+		// Rounds are sequential, devices within a round concurrent: the
+		// round's makespan is the max per-device busy delta.
+		roundMax := 0.0
+		for di := range p.devices {
+			if len(assign[di]) == 0 {
+				continue
+			}
+			busy, _ := queues[di].Finish()
+			if d := busy - busyBefore[di]; d > roundMax {
+				roundMax = d
+			}
+		}
+		res.SimSeconds += roundMax
+
+		// Collect outcomes in device order so stats and error lists are
+		// deterministic.
+		var failSpans, lateSpans []pending
+		for di, dev := range p.devices {
+			if len(assign[di]) == 0 {
+				continue
+			}
+			o := &outs[di]
+			res.Faults.Add(o.stats)
+			assign[di] = nil
+			switch {
+			case o.failed:
+				eligible[di] = false
+				res.Faults.FailedDevices = append(res.Faults.FailedDevices, dev.Name)
+				devErrs = append(devErrs, fmt.Errorf("device %s: %w", dev.Name, o.err))
+				failSpans = append(failSpans, o.unmapped...)
+			case o.deadline:
+				eligible[di] = false
+				devErrs = append(devErrs, fmt.Errorf(
+					"device %s: simulated deadline %gs exceeded", dev.Name, p.deadlineFor(di)))
+				lateSpans = append(lateSpans, o.unmapped...)
+			}
+		}
+		res.Faults.FailoverReads += spanReads(failSpans)
+		res.Faults.DeadlineReads += spanReads(lateSpans)
+		redo := append(failSpans, lateSpans...)
+		if len(redo) == 0 {
+			break
+		}
+		sort.Slice(redo, func(i, j int) bool { return redo[i].start < redo[j].start })
+		counts := p.sharesAmong(spanReads(redo), eligible)
+		if counts == nil {
+			return nil, fmt.Errorf("core: no device completed the workload: %w",
+				errors.Join(devErrs...))
+		}
+		assign = partitionSpans(redo, counts)
+	}
+
+	// Aggregate in device order over every queue that ran.
 	for di, dev := range p.devices {
-		s := shares[di]
-		if !s.ran {
+		if !ran[di] {
 			continue
 		}
-		if s.err != nil {
-			return nil, fmt.Errorf("core: device %s: %w", dev.Name, s.err)
-		}
-		res.DeviceSeconds[dev.Name] += s.busy
-		if s.busy > res.SimSeconds {
-			res.SimSeconds = s.busy // task-parallel makespan
-		}
-		res.EnergyJ += s.energy
-		res.Cost.Add(s.cost)
+		busy, cost := queues[di].Finish()
+		res.DeviceSeconds[dev.Name] += busy
+		res.EnergyJ += queues[di].EnergyJ()
+		res.Cost.Add(cost)
 	}
 	return res, nil
 }
 
-// mapOnDevice runs one device's share, batching reads so the static
-// output buffer respects CL_DEVICE_MAX_MEM_ALLOC_SIZE.
-func (p *Pipeline) mapOnDevice(ctx *cl.Context, dev *cl.Device, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options) (busy, energy float64, cost cl.Cost, err error) {
-	ixBuf, err := ctx.AllocBuffer(dev, p.ix.SizeBytes())
+// deadlineFor returns device di's simulated-seconds budget (0 = none).
+func (p *Pipeline) deadlineFor(di int) float64 {
+	if p.deadlines == nil {
+		return 0
+	}
+	return p.deadlines[di]
+}
+
+// sharesAmong splits total reads across the devices still eligible,
+// reusing the configured split weights. When the survivors' configured
+// shares sum to zero (nil split, or only zero-share devices survive) the
+// reads spread evenly. Returns nil when no device is eligible.
+func (p *Pipeline) sharesAmong(total int, eligible []bool) []int {
+	weights := make([]float64, len(p.devices))
+	sum, any := 0.0, false
+	for i, ok := range eligible {
+		if !ok {
+			continue
+		}
+		any = true
+		if p.split != nil && p.split[i] > 0 {
+			weights[i] = p.split[i]
+			sum += weights[i]
+		}
+	}
+	if !any {
+		return nil
+	}
+	if sum == 0 {
+		for i, ok := range eligible {
+			if ok {
+				weights[i] = 1
+				sum++
+			}
+		}
+	}
+	counts := make([]int, len(p.devices))
+	assigned := 0
+	largest, largestShare := 0, 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if w > largestShare {
+			largest, largestShare = i, w
+		}
+		counts[i] = int(float64(total) * w / sum)
+		assigned += counts[i]
+	}
+	counts[largest] += total - assigned
+	return counts
+}
+
+// partitionSpans deals the sorted spans out by per-device read counts,
+// splitting a span at a device boundary when needed.
+func partitionSpans(spans []pending, counts []int) [][]pending {
+	out := make([][]pending, len(counts))
+	si := 0
+	pos := 0
+	if len(spans) > 0 {
+		pos = spans[0].start
+	}
+	for di, want := range counts {
+		for want > 0 && si < len(spans) {
+			sp := spans[si]
+			if pos < sp.start {
+				pos = sp.start
+			}
+			take := sp.end - pos
+			if take > want {
+				take = want
+			}
+			out[di] = append(out[di], pending{pos, pos + take})
+			pos += take
+			want -= take
+			if pos >= sp.end {
+				si++
+			}
+		}
+	}
+	return out
+}
+
+// mapOnDevice runs one device's assigned spans on its queue, batching
+// reads so the static buffers respect CL_DEVICE_MAX_MEM_ALLOC_SIZE. It
+// implements the in-place recovery tier: transient faults retry on the
+// same device with doubling simulated backoff, allocation failures halve
+// the batch, and anything permanent stops the device and reports the
+// unfinished spans for failover.
+func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, deadlineSec float64) (o outcome) {
+	dev := queue.Device()
+	ixBuf, err := p.allocWithRetry(ctx, queue, p.ix.SizeBytes(), opt, &o)
 	if err != nil {
-		return 0, 0, cost, fmt.Errorf("index does not fit: %w", err)
+		o.failed = true
+		o.err = fmt.Errorf("index does not fit: %w", err)
+		o.unmapped = spans
+		return o
 	}
 	defer ixBuf.Free()
 
-	readLen := len(reads[0])
-	outPerRead := int64(opt.MaxLocations) * locationBytes
-	inPerRead := int64((readLen + 3) / 4)
-	batch := len(reads)
-	if limit := dev.MaxAlloc / outPerRead; int64(batch) > limit {
-		batch = int(limit)
+	for si, sp := range spans {
+		readLen := len(reads[sp.start])
+		outPerRead := int64(opt.MaxLocations) * locationBytes
+		inPerRead := int64((readLen + 3) / 4)
+		batch := sp.end - sp.start
+		if limit := dev.MaxAlloc / outPerRead; int64(batch) > limit {
+			batch = int(limit)
+		}
+		if limit := dev.MaxAlloc / inPerRead; int64(batch) > limit {
+			batch = int(limit)
+		}
+		if batch < 1 {
+			o.failed = true
+			o.err = fmt.Errorf("a single read's buffers exceed the allocation limit")
+			o.unmapped = append([]pending{sp}, spans[si+1:]...)
+			return o
+		}
+		start := sp.start
+		attempts := 0
+		backoff := opt.RetryBackoffSimSec
+		for start < sp.end {
+			if deadlineSec > 0 {
+				if busy, _ := queue.Finish(); busy >= deadlineSec {
+					o.deadline = true
+					o.unmapped = append([]pending{{start, sp.end}}, spans[si+1:]...)
+					return o
+				}
+			}
+			end := start + batch
+			if end > sp.end {
+				end = sp.end
+			}
+			err := p.runBatch(ctx, queue, reads[start:end], out[start:end], opt)
+			if err == nil {
+				start = end
+				attempts = 0
+				backoff = opt.RetryBackoffSimSec
+				continue
+			}
+			switch {
+			case cl.IsAllocFailure(err) && end-start > 1:
+				// OpenCL's static-allocation wall: halve the batch and go
+				// around degraded rather than give the device up.
+				batch = (end - start + 1) / 2
+				o.stats.DegradedBatches++
+			case cl.IsTransient(err) && attempts < opt.Retries:
+				attempts++
+				queue.ChargePenalty(backoff)
+				o.stats.Retries++
+				o.stats.BackoffSimSec += backoff
+				backoff *= 2
+			default:
+				o.failed = true
+				o.err = err
+				o.unmapped = append([]pending{{start, sp.end}}, spans[si+1:]...)
+				return o
+			}
+		}
 	}
-	if limit := dev.MaxAlloc / inPerRead; int64(batch) > limit {
-		batch = int(limit)
-	}
-	if batch < 1 {
-		return 0, 0, cost, fmt.Errorf("a single read's buffers exceed the allocation limit")
-	}
+	return o
+}
 
-	queue := cl.NewQueue(dev)
-	queue.SetExecMode(p.exec)
-	for start := 0; start < len(reads); start += batch {
-		end := start + batch
-		if end > len(reads) {
-			end = len(reads)
+// allocWithRetry allocates size bytes on the queue's device, retrying
+// injected transient failures with the same bounded, charged backoff as
+// kernel launches. Structural failures — the buffer genuinely does not
+// fit — repeat identically and are returned at once.
+func (p *Pipeline) allocWithRetry(ctx *cl.Context, queue *cl.Queue, size int64, opt mapper.Options, o *outcome) (*cl.Buffer, error) {
+	backoff := opt.RetryBackoffSimSec
+	for attempts := 0; ; attempts++ {
+		buf, err := ctx.AllocBuffer(queue.Device(), size)
+		if err == nil {
+			return buf, nil
 		}
-		if err := p.runBatch(ctx, queue, reads[start:end], out[start:end], opt); err != nil {
-			return 0, 0, cost, err
+		if !cl.IsTransient(err) || attempts >= opt.Retries {
+			return nil, err
 		}
+		queue.ChargePenalty(backoff)
+		o.stats.Retries++
+		o.stats.BackoffSimSec += backoff
+		backoff *= 2
 	}
-	busy, cost = queue.Finish()
-	return busy, queue.EnergyJ(), cost, nil
 }
 
 // runBatch allocates the batch buffers and enqueues the mapping kernel.

@@ -38,6 +38,8 @@ func (p *Pipeline) MapPairs(reads1, reads2 [][]byte, opt mapper.PairOptions) (*m
 	}
 	out.Cost = res1.Cost
 	out.Cost.Add(res2.Cost)
+	out.Faults = res1.Faults
+	out.Faults.Add(res2.Faults)
 	for i := range reads1 {
 		out.Pairs[i] = mapper.PairUp(
 			res1.Mappings[i], res2.Mappings[i],

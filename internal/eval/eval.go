@@ -155,3 +155,30 @@ type Origin struct {
 	Strand byte
 	Edits  uint8
 }
+
+// IdenticalMappings reports whether two per-read mapping lists are
+// exactly equal: same reads, same locations, strands and distances, in
+// the same order. Unlike the accuracy metrics it tolerates nothing — it
+// is the check the fault-tolerance experiments use to show that recovery
+// changes when and where reads map, never what they map to. The second
+// result is the index of the first differing read (-1 when identical).
+func IdenticalMappings(a, b [][]mapper.Mapping) (bool, int) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if len(a[i]) != len(b[i]) {
+			return false, i
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false, i
+			}
+		}
+	}
+	if len(a) != len(b) {
+		return false, n
+	}
+	return true, -1
+}

@@ -1,0 +1,44 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/mapper"
+)
+
+func TestIdenticalMappings(t *testing.T) {
+	m := func(pos int32, strand byte, dist uint8) mapper.Mapping {
+		return mapper.Mapping{Pos: pos, Strand: strand, Dist: dist}
+	}
+	a := [][]mapper.Mapping{
+		{m(10, '+', 0), m(90, '-', 2)},
+		nil,
+		{m(40, '+', 1)},
+	}
+
+	if ok, i := IdenticalMappings(a, a); !ok || i != -1 {
+		t.Errorf("self comparison = (%v, %d), want (true, -1)", ok, i)
+	}
+
+	b := [][]mapper.Mapping{
+		{m(10, '+', 0), m(90, '-', 2)},
+		nil,
+		{m(40, '+', 2)}, // distance differs
+	}
+	if ok, i := IdenticalMappings(a, b); ok || i != 2 {
+		t.Errorf("distance diff = (%v, %d), want (false, 2)", ok, i)
+	}
+
+	c := [][]mapper.Mapping{
+		{m(10, '+', 0)}, // one location missing
+		nil,
+		{m(40, '+', 1)},
+	}
+	if ok, i := IdenticalMappings(a, c); ok || i != 0 {
+		t.Errorf("count diff = (%v, %d), want (false, 0)", ok, i)
+	}
+
+	if ok, i := IdenticalMappings(a, a[:2]); ok || i != 2 {
+		t.Errorf("length diff = (%v, %d), want (false, 2)", ok, i)
+	}
+}

@@ -44,6 +44,15 @@ type Options struct {
 	MinSeedLen int
 	// MaxSeedFreq is the CORAL growth threshold (0 = default).
 	MaxSeedFreq int
+	// Retries caps in-place re-enqueue attempts after a transient device
+	// fault (cl.IsTransient) before the work fails over to another
+	// device. 0 means the default of 3; negative disables retries.
+	Retries int
+	// RetryBackoffSimSec is the simulated backoff charged to the device
+	// for the first retry of a batch, doubling per attempt; it lands in
+	// the device's busy time and therefore in SimSeconds and EnergyJ.
+	// 0 means the default of 1 ms.
+	RetryBackoffSimSec float64
 }
 
 // WithDefaults fills unset fields.
@@ -53,6 +62,14 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.MaxErrors < 0 {
 		o.MaxErrors = 0
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoffSimSec <= 0 {
+		o.RetryBackoffSimSec = 1e-3
 	}
 	return o
 }
@@ -71,6 +88,50 @@ type Result struct {
 	DeviceSeconds map[string]float64
 	// Cost aggregates the abstract operations performed.
 	Cost cl.Cost
+	// Faults accounts the recovery actions the run performed; the zero
+	// value means a fault-free run.
+	Faults FaultStats
+}
+
+// FaultStats accounts the fault-recovery work of a mapping run: how many
+// transient faults were retried in place, how much simulated backoff
+// those retries cost, how many batches were halved after allocation
+// failures, and how many reads migrated off failed or slow devices. The
+// mappings themselves are unaffected by recovery — that is the
+// fault-tolerance contract the determinism suite asserts — so these
+// counters are the only place the turbulence shows.
+type FaultStats struct {
+	// Retries counts transient faults retried on the same device.
+	Retries int
+	// BackoffSimSec is the simulated backoff charged by those retries.
+	BackoffSimSec float64
+	// DegradedBatches counts batch halvings after allocation failures.
+	DegradedBatches int
+	// FailoverReads counts reads redistributed off permanently failed
+	// devices.
+	FailoverReads int
+	// DeadlineReads counts reads migrated off devices that exceeded
+	// their simulated-seconds deadline.
+	DeadlineReads int
+	// FailedDevices lists devices lost permanently, in device order.
+	FailedDevices []string
+}
+
+// Any reports whether any recovery action was taken.
+func (f FaultStats) Any() bool {
+	return f.Retries != 0 || f.DegradedBatches != 0 || f.FailoverReads != 0 ||
+		f.DeadlineReads != 0 || len(f.FailedDevices) != 0
+}
+
+// Add accumulates o into f (used when a run spans several Map calls,
+// e.g. paired-end mates).
+func (f *FaultStats) Add(o FaultStats) {
+	f.Retries += o.Retries
+	f.BackoffSimSec += o.BackoffSimSec
+	f.DegradedBatches += o.DegradedBatches
+	f.FailoverReads += o.FailoverReads
+	f.DeadlineReads += o.DeadlineReads
+	f.FailedDevices = append(f.FailedDevices, o.FailedDevices...)
 }
 
 // MappedReads counts reads with at least one reported location.

@@ -127,6 +127,8 @@ type PairResult struct {
 	SimSeconds       float64
 	EnergyJ          float64
 	Cost             cl.Cost
+	// Faults accumulates both mates' recovery accounting.
+	Faults FaultStats
 }
 
 // ConcordantFragments counts fragments with at least one concordant pair.
