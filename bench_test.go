@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/fmindex"
 	"repro/internal/mapper"
 	"repro/internal/seed"
+	"repro/internal/trace"
 )
 
 var benchDS *bench.Dataset
@@ -214,6 +216,20 @@ func BenchmarkHostParallelSpeedup(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(serial/parallel, "speedup")
 	b.ReportMetric(parallel*1e3, "wall-ms/map")
+
+	// Export the result through the observability layer too, so the
+	// numbers land in the same JSON shape the runtime's metrics use and
+	// scripts can scrape one format from benchmarks and runs alike.
+	reg := trace.NewRegistry()
+	reg.Gauge("bench_host_parallel_speedup").Set(serial / parallel)
+	reg.Gauge("bench_wall_ms_per_map_parallel").Set(parallel * 1e3)
+	reg.Gauge("bench_wall_ms_per_map_serial").Set(serial * 1e3)
+	reg.Gauge("bench_gomaxprocs").Set(float64(runtime.NumCPU()))
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("metrics snapshot:\n%s", buf.String())
 }
 
 // BenchmarkAblationVerifyMyers vs ...Banded: the verification kernel

@@ -6,10 +6,12 @@
 //	experiments [-scale tiny|small|medium|full] [-seed N] [-run LIST] [-out FILE]
 //
 // -run selects experiments (comma separated: table1, table2, table3,
-// table4, fig3, fig4, or "all"). Two extra studies run only when named
-// explicitly: "ablations" (design-choice quantification) and "faults"
-// (the fault-injection recovery sweep). -out writes the full markdown
-// report (EXPERIMENTS.md form) in addition to the console tables.
+// table4, fig3, fig4, or "all"). Three extra studies run only when named
+// explicitly: "ablations" (design-choice quantification), "faults" (the
+// fault-injection recovery sweep) and "trace" (an instrumented System 1
+// run whose Chrome trace -trace-out writes for chrome://tracing or
+// Perfetto). -out writes the full markdown report (EXPERIMENTS.md form)
+// in addition to the console tables.
 package main
 
 import (
@@ -27,15 +29,16 @@ func main() {
 	runFlag := flag.String("run", "all", "experiments to run (comma list or 'all')")
 	outFlag := flag.String("out", "", "also write a full markdown report to this file")
 	jsonFlag := flag.String("json", "", "also write the full report as JSON to this file (requires -run all)")
+	traceOutFlag := flag.String("trace-out", "trace.json", "Chrome trace output path for -run trace")
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag); err != nil {
+	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, runList, outPath, jsonPath string) error {
+func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut string) error {
 	sc, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -167,6 +170,19 @@ func run(scaleName string, seed int64, runList, outPath, jsonPath string) error 
 			return err
 		}
 		s.Render(os.Stdout)
+		ran = true
+	}
+	if sel("trace") {
+		d, err := bench.RunTraceDemo(ds)
+		if err != nil {
+			return err
+		}
+		d.Render(os.Stdout)
+		if err := os.WriteFile(traceOut, d.ChromeJSON, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+		fmt.Printf("metrics snapshot:\n%s", d.MetricsJSON)
 		ran = true
 	}
 	if !ran {

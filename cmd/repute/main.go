@@ -8,6 +8,7 @@
 //	repute map -index ref.rix -reads reads.fq [-e 5] [-smin 0]
 //	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
 //	           [-max-locations 100] [-selector dp|coral] [-out out.sam]
+//	           [-trace trace.json]
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/sam"
 	"repro/internal/seed"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -175,6 +177,7 @@ func runMap(args []string) error {
 	selector := fs.String("selector", "dp", "filtration: dp (REPUTE) or coral (heuristic)")
 	cigarFlag := fs.Bool("cigar", false, "recover CIGAR strings for reported mappings")
 	outPath := fs.String("out", "", "SAM output path (default stdout)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the simulated run (chrome://tracing, Perfetto)")
 	fs.Parse(args)
 	if *indexPath == "" || *readsPath == "" {
 		return fmt.Errorf("map: -index and -reads are required")
@@ -235,14 +238,25 @@ func runMap(args []string) error {
 	default:
 		return fmt.Errorf("unknown selector %q (dp, coral)", *selector)
 	}
-	p, err := core.NewFromIndex(ix, devices, core.Config{Name: name, Selector: sel, Split: split})
+	cfg := core.Config{Name: name, Selector: sel, Split: split}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		// Assign only when recording: a typed-nil *Recorder in the
+		// interface field would not read as "tracing off".
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
+	p, err := core.NewFromIndex(ix, devices, cfg)
 	if err != nil {
 		return err
 	}
 
 	if *reads2Path != "" {
-		return runMapPaired(p, g, recs, reads, *reads2Path, *errorsFlag, *sminFlag,
-			*maxLoc, int32(*minInsert), int32(*maxInsert), *outPath)
+		if err := runMapPaired(p, g, recs, reads, *reads2Path, *errorsFlag, *sminFlag,
+			*maxLoc, int32(*minInsert), int32(*maxInsert), *outPath); err != nil {
+			return err
+		}
+		return writeTrace(rec, *tracePath)
 	}
 
 	wallStart := time.Now()
@@ -324,6 +338,30 @@ func runMap(args []string) error {
 	for dev, sec := range res.DeviceSeconds {
 		fmt.Fprintf(os.Stderr, "  %-32s %.3f s busy\n", dev, sec)
 	}
+	return writeTrace(rec, *tracePath)
+}
+
+// writeTrace validates and exports the recorded trace, if recording was
+// requested.
+func writeTrace(rec *trace.Recorder, path string) error {
+	if rec == nil {
+		return nil
+	}
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
 	return nil
 }
 

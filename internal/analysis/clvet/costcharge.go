@@ -76,6 +76,14 @@ func reachesCharge(pass *analysis.Pass, body ast.Node,
 			found = true
 			return false
 		}
+		// Delegation to another kernel body (a func(*cl.WorkItem, any)
+		// value, as trace-instrumentation wrappers do) counts as reaching
+		// Charge: the delegate is itself a kernel site, vetted — including
+		// for this check — wherever it is constructed.
+		if t := pass.TypesInfo.TypeOf(call.Fun); t != nil && isBodyFuncType(t) {
+			found = true
+			return false
+		}
 		fn := calleeFunc(pass, call)
 		if fn == nil || fn.Pkg() != pass.Pkg || visited[fn] {
 			return true

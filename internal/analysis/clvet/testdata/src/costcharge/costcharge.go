@@ -59,6 +59,20 @@ func missing(out []int) *cl.Kernel {
 	}
 }
 
+// wrap mimics core.instrumentKernel: the wrapper body delegates every
+// work item to the inner, already-vetted kernel body and only observes
+// afterwards. Delegation to a body-typed value counts as reaching
+// Charge, so the wrapper is ok.
+func wrap(k *cl.Kernel, observe func(int64)) *cl.Kernel {
+	inner := k.Body
+	out := *k
+	out.Body = func(wi *cl.WorkItem, state any) {
+		inner(wi, state)
+		observe(wi.Cost().Items)
+	}
+	return &out
+}
+
 // enqueue mimics mapper.RunOnDevice's shape.
 func enqueue(n int, newState func() any, body func(*cl.WorkItem, any)) {
 	_ = n

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/trace"
+)
+
+// Trace demo: one instrumented heterogeneous run on System 1 (CPU + two
+// GTX 590 halves, the paper's 0.52/0.24/0.24 split) with the recording
+// tracer installed, exported both as a Chrome trace-event file (open in
+// chrome://tracing or Perfetto) and as a metrics snapshot. This is the
+// observability layer's showcase, the way the fault sweep is the
+// recovery layer's.
+
+// TraceDemo holds one instrumented run's artifacts.
+type TraceDemo struct {
+	Reads       int
+	SimSeconds  float64
+	EnergyJ     float64
+	Recorder    *trace.Recorder
+	ChromeJSON  []byte // trace-event file, ready to write to disk
+	MetricsJSON []byte // metrics snapshot in the registry's JSON form
+}
+
+// RunTraceDemo maps the dataset's 100 bp read set on System 1 with a
+// recording tracer and validates the resulting trace before export.
+func RunTraceDemo(ds *Dataset) (*TraceDemo, error) {
+	rec := trace.NewRecorder()
+	p, err := core.New(ds.Ref, cl.SystemOne().Devices, core.Config{
+		Split:  []float64{0.52, 0.24, 0.24},
+		Tracer: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reads := ds.Sets[100].Reads
+	if len(reads) > 400 {
+		reads = reads[:400]
+	}
+	res, err := p.Map(reads, mapper.Options{MaxErrors: 3, MaxLocations: 100})
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: trace demo produced an invalid trace: %w", err)
+	}
+	var cbuf, mbuf bytes.Buffer
+	if err := trace.WriteChromeTrace(&cbuf, rec); err != nil {
+		return nil, err
+	}
+	if err := rec.Metrics().WriteJSON(&mbuf); err != nil {
+		return nil, err
+	}
+	return &TraceDemo{
+		Reads:       len(reads),
+		SimSeconds:  res.SimSeconds,
+		EnergyJ:     res.EnergyJ,
+		Recorder:    rec,
+		ChromeJSON:  cbuf.Bytes(),
+		MetricsJSON: mbuf.Bytes(),
+	}, nil
+}
+
+// Render prints a per-lane summary of the recorded trace.
+func (d *TraceDemo) Render(w io.Writer) {
+	fmt.Fprintf(w, "Trace demo: %d reads on System 1, %d trace events (%.5f sim s, %.3f J)\n",
+		d.Reads, len(d.Recorder.Events()), d.SimSeconds, d.EnergyJ)
+	fmt.Fprintf(w, "  %-34s %7s %8s %12s\n", "lane", "spans", "instants", "busy(sim s)")
+	type laneStat struct {
+		spans, instants int
+		busy            float64
+	}
+	stats := map[string]*laneStat{}
+	for _, ev := range d.Recorder.Events() {
+		s := stats[ev.Lane]
+		if s == nil {
+			s = &laneStat{}
+			stats[ev.Lane] = s
+		}
+		if ev.Phase == 'X' {
+			s.spans++
+			if end := ev.Start + ev.Dur; end > s.busy {
+				s.busy = end
+			}
+		} else {
+			s.instants++
+		}
+	}
+	for _, lane := range d.Recorder.Lanes() {
+		s := stats[lane]
+		fmt.Fprintf(w, "  %-34s %7d %8d %12.5f\n", lane, s.spans, s.instants, s.busy)
+	}
+	fmt.Fprintf(w, "  Chrome trace: %d bytes, metrics snapshot: %d bytes\n",
+		len(d.ChromeJSON), len(d.MetricsJSON))
+}

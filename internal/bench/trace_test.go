@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceDemoSmoke runs the instrumented System 1 demo and validates
+// the exported artifacts: the Chrome trace must decode as a trace-event
+// envelope with one named thread per device lane plus the host, spans
+// must carry non-negative timestamps and durations, and the metrics
+// snapshot must decode with the per-device gauges populated.
+func TestTraceDemoSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace demo in -short mode")
+	}
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ds := tinyDS(t)
+	d, err := RunTraceDemo(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var env struct {
+		TraceEvents []struct {
+			Name  string   `json:"name"`
+			Phase string   `json:"ph"`
+			TS    float64  `json:"ts"`
+			Dur   *float64 `json:"dur"`
+			TID   int      `json:"tid"`
+			Args  map[string]any
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(d.ChromeJSON, &env); err != nil {
+		t.Fatalf("Chrome trace does not decode: %v", err)
+	}
+	lanes := map[string]bool{}
+	spans := 0
+	for _, ev := range env.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			spans++
+			if ev.TS < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("span %q has ts=%v dur=%v", ev.Name, ev.TS, ev.Dur)
+			}
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no spans in the demo trace")
+	}
+	if !lanes["host"] {
+		t.Errorf("host lane missing from thread metadata: %v", lanes)
+	}
+	devLanes := 0
+	for l := range lanes {
+		if l != "host" {
+			devLanes++
+		}
+	}
+	if devLanes != 3 {
+		t.Errorf("System 1 trace has %d device lanes, want 3: %v", devLanes, lanes)
+	}
+
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(d.MetricsJSON, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not decode: %v", err)
+	}
+	var enqueues int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "enqueues_total/") {
+			enqueues += v
+		}
+	}
+	if enqueues == 0 || snap.Counters["candidates_total"] == 0 {
+		t.Errorf("demo counters not populated: %+v", snap.Counters)
+	}
+	busyGauges := 0
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "device_busy_seconds/") {
+			busyGauges++
+		}
+	}
+	if busyGauges != 3 {
+		t.Errorf("per-device busy gauges = %d, want 3 (gauges %v)", busyGauges, snap.Gauges)
+	}
+
+	var buf bytes.Buffer
+	d.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "host") || !strings.Contains(out, "Chrome trace") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}

@@ -22,6 +22,8 @@ package cl
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // DeviceType mirrors CL_DEVICE_TYPE_*.
@@ -56,6 +58,14 @@ type Cost struct {
 	LocateSteps int64 // suffix-array locate resolutions
 	Bytes       int64 // bulk data movement (host<->device when discrete)
 	Items       int64 // per-work-item fixed overhead units
+
+	// Candidates and Verified are observability-only tallies: candidate
+	// locations that survived filtration and candidates accepted by
+	// verification. They carry no Weights entry, so they never influence
+	// simulated time or energy — they exist so traces and metrics can
+	// report the paper's filtration/verification breakdown per event.
+	Candidates int64
+	Verified   int64
 }
 
 // Add accumulates o into c.
@@ -67,6 +77,15 @@ func (c *Cost) Add(o Cost) {
 	c.LocateSteps += o.LocateSteps
 	c.Bytes += o.Bytes
 	c.Items += o.Items
+	c.Candidates += o.Candidates
+	c.Verified += o.Verified
+}
+
+// Ops returns the total algorithmic operation count — every weighted
+// unit except data movement (Bytes) and the observability tallies. It is
+// the scalar the per-item work histogram observes.
+func (c Cost) Ops() int64 {
+	return c.FMSteps + c.DPCells + c.VerifyWords + c.HashProbes + c.LocateSteps + c.Items
 }
 
 // Weights are the per-operation cycle costs of a device lane.
@@ -152,6 +171,20 @@ type Platform struct {
 type Context struct {
 	mu        sync.Mutex
 	allocated map[*Device]int64
+	// tracer receives alloc/free instants; nil when tracing is off. Set
+	// it before sharing the context across goroutines (SetTracer is not
+	// synchronised against in-flight allocations).
+	tracer trace.Tracer
+}
+
+// SetTracer installs a tracer on the context; buffer allocations, frees
+// and allocation failures emit instant events on the owning device's
+// lane. A nil or trace.Noop tracer disables tracing at zero cost.
+func (c *Context) SetTracer(t trace.Tracer) {
+	if trace.IsNoop(t) {
+		t = nil
+	}
+	c.tracer = t
 }
 
 // NewContext returns an empty context.
@@ -192,6 +225,20 @@ func (e *AllocError) Is(target error) bool {
 // AllocBuffer reserves size bytes on dev, enforcing the MaxAlloc and
 // total-memory limits.
 func (c *Context) AllocBuffer(dev *Device, size int64) (*Buffer, error) {
+	b, err := c.allocBuffer(dev, size)
+	if t := c.tracer; t != nil {
+		if err != nil {
+			t.Instant(dev.Name, "alloc-fault",
+				trace.I64("bytes", size), trace.Str("error", err.Error()))
+		} else {
+			t.Instant(dev.Name, "alloc",
+				trace.I64("bytes", size), trace.I64("allocated_bytes", c.Allocated(dev)))
+		}
+	}
+	return b, err
+}
+
+func (c *Context) allocBuffer(dev *Device, size int64) (*Buffer, error) {
 	if size <= 0 {
 		return nil, &AllocError{Device: dev.Name, Requested: size, Reason: "non-positive size"}
 	}
@@ -268,6 +315,10 @@ func (b *Buffer) Free() {
 	}
 	b.free = true
 	b.ctx.allocated[b.dev] -= b.size
+	if t := b.ctx.tracer; t != nil {
+		t.Instant(b.dev.Name, "free",
+			trace.I64("bytes", b.size), trace.I64("allocated_bytes", b.ctx.allocated[b.dev]))
+	}
 }
 
 // WorkItem is passed to a kernel body for each global index.
@@ -278,6 +329,11 @@ type WorkItem struct {
 
 // Charge records operations performed by this work item.
 func (wi *WorkItem) Charge(c Cost) { wi.cost.Add(c) }
+
+// Cost returns the operations charged to this work item so far. Kernel
+// instrumentation (core.instrumentKernel) reads it after the inner body
+// returns to feed the per-item work histogram.
+func (wi *WorkItem) Cost() Cost { return wi.cost }
 
 // Kernel is a compiled kernel: a Go function plus the private-memory
 // declaration the occupancy model needs. Bodies must not allocate output
@@ -325,6 +381,13 @@ type Queue struct {
 	// EnergyJ are O(1) however often the host polls them per batch.
 	busyTotal float64
 	costTotal Cost
+	// tracer receives enqueue/penalty spans on the device's lane; nil
+	// (the normalised form of trace.Noop) means tracing is off and the
+	// hot path pays one nil check. traceOrigin offsets the lane's
+	// timestamps so successive runs on fresh queues (MapPairs' two
+	// mates) extend one timeline instead of overlapping at zero.
+	tracer      trace.Tracer
+	traceOrigin float64
 }
 
 // NewQueue creates an in-order queue on dev using the package default
@@ -337,6 +400,23 @@ func (q *Queue) Device() *Device { return q.dev }
 // SetExecMode pins this queue to a host execution mode; Auto (the zero
 // value) defers to the package default.
 func (q *Queue) SetExecMode(m ExecMode) { q.mode = m }
+
+// SetTracer installs a tracer on the queue; enqueues and penalty charges
+// emit spans on the device's lane over simulated time. A nil or
+// trace.Noop tracer disables tracing at zero cost (asserted by
+// TestNoopTracerZeroCost and the enqueue benchmarks).
+func (q *Queue) SetTracer(t trace.Tracer) {
+	if trace.IsNoop(t) {
+		t = nil
+	}
+	q.tracer = t
+}
+
+// SetTraceOrigin sets the simulated-time offset added to every span this
+// queue emits. The queue's own busy clock always starts at zero; the
+// origin places it on a longer timeline (e.g. mate 2 of a paired run
+// starting where mate 1 ended).
+func (q *Queue) SetTraceOrigin(sec float64) { q.traceOrigin = sec }
 
 // EnqueueNDRange runs kernel over globalSize work items and records the
 // event. Work items are dispatched to host workers in work-groups (see
@@ -357,12 +437,20 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 	if fs := q.dev.faults; fs != nil {
 		factor, ferr := fs.admitEnqueue(q.dev.Name, k.Name)
 		if ferr != nil {
+			if t := q.tracer; t != nil {
+				t.Instant(q.dev.Name, "enqueue-fault",
+					trace.Str("kernel", k.Name), trace.Str("error", ferr.Error()))
+			}
 			return Event{}, ferr
 		}
 		throttle = factor
 	}
 	total, err := q.mode.run(k, globalSize)
 	if err != nil {
+		if t := q.tracer; t != nil {
+			t.Instant(q.dev.Name, "enqueue-fault",
+				trace.Str("kernel", k.Name), trace.Str("error", err.Error()))
+		}
 		return Event{}, err
 	}
 	ev := Event{
@@ -371,9 +459,28 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 		Cost:       total,
 		SimSeconds: q.dev.simSeconds(k, total, throttle),
 	}
+	busyStart := q.busyTotal
 	q.events = append(q.events, ev)
 	q.busyTotal += ev.SimSeconds
 	q.costTotal.Add(ev.Cost)
+	if t := q.tracer; t != nil {
+		attrs := []trace.Attr{
+			trace.I64("global_size", int64(globalSize)),
+			trace.F64("energy_j", ev.SimSeconds*q.dev.PowerW),
+			trace.I64("fm_steps", total.FMSteps),
+			trace.I64("dp_cells", total.DPCells),
+			trace.I64("verify_words", total.VerifyWords),
+			trace.I64("locate_steps", total.LocateSteps),
+			trace.I64("bytes", total.Bytes),
+			trace.I64("candidates", total.Candidates),
+			trace.I64("verified", total.Verified),
+		}
+		if throttle != 1 {
+			attrs = append(attrs, trace.F64("throttle", throttle))
+		}
+		t.Span(q.dev.Name, "enqueue:"+k.Name,
+			q.traceOrigin+busyStart, ev.SimSeconds, attrs...)
+	}
 	return ev, nil
 }
 
@@ -411,9 +518,14 @@ func (q *Queue) Events() []Event {
 // account recovery the way they account kernel work. Non-positive
 // charges are ignored.
 func (q *Queue) ChargePenalty(sec float64) {
-	if sec > 0 {
-		q.busyTotal += sec
+	if sec <= 0 {
+		return
 	}
+	if t := q.tracer; t != nil {
+		t.Span(q.dev.Name, "penalty", q.traceOrigin+q.busyTotal, sec,
+			trace.F64("energy_j", sec*q.dev.PowerW))
+	}
+	q.busyTotal += sec
 }
 
 // Finish returns the queue's total simulated busy time and the summed

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fmindex"
 	"repro/internal/mapper"
 	"repro/internal/seed"
+	"repro/internal/trace"
 )
 
 // locationBytes is the per-reported-location size of the fixed output
@@ -58,6 +59,12 @@ type Config struct {
 	// migrate to the other devices — the recovery path for a device that
 	// is alive but too slow (thermal throttling, a contended lane).
 	Deadlines []float64
+	// Tracer receives spans and instants for every enqueue, penalty,
+	// buffer event, round, retry, failover and deadline decision, keyed
+	// on simulated time (DESIGN.md §10). nil or trace.Noop disables
+	// tracing with zero overhead on the hot path. Installing a
+	// *trace.Recorder additionally feeds its per-item op histogram.
+	Tracer trace.Tracer
 }
 
 // Pipeline is a REPUTE-style mapper bound to a reference and devices.
@@ -69,6 +76,16 @@ type Pipeline struct {
 	selector  seed.Selector
 	exec      cl.ExecMode
 	deadlines []float64
+
+	// tracer is the normalised Config.Tracer (nil when off); itemHist is
+	// the tracer's per-item op histogram when it offers one. traceSec is
+	// the simulated time already traced by earlier Map calls on this
+	// pipeline, so successive runs (MapPairs' two mates) extend one
+	// timeline; traceMu guards it across concurrent Map calls.
+	tracer   trace.Tracer
+	itemHist *trace.Histogram
+	traceMu  sync.Mutex
+	traceSec float64
 }
 
 // New builds the index from ref and returns the pipeline.
@@ -102,8 +119,15 @@ func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipelin
 		return nil, fmt.Errorf("core: deadlines has %d entries for %d devices",
 			len(cfg.Deadlines), len(devices))
 	}
-	return &Pipeline{name: name, ix: ix, devices: devices, split: split,
-		selector: sel, exec: cfg.Exec, deadlines: cfg.Deadlines}, nil
+	p := &Pipeline{name: name, ix: ix, devices: devices, split: split,
+		selector: sel, exec: cfg.Exec, deadlines: cfg.Deadlines}
+	if !trace.IsNoop(cfg.Tracer) {
+		p.tracer = cfg.Tracer
+		if h, ok := cfg.Tracer.(interface{ ItemOpsHistogram() *trace.Histogram }); ok {
+			p.itemHist = h.ItemOpsHistogram()
+		}
+	}
+	return p, nil
 }
 
 // Name implements mapper.Mapper.
@@ -269,9 +293,38 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 	}
 	ctx := cl.NewContext()
 	queues := make([]*cl.Queue, len(p.devices))
+	// traceBase is where this run starts on the pipeline's traced
+	// timeline: fresh queues count busy time from zero, so the origin
+	// shifts their spans past everything already recorded (a second Map
+	// call — MapPairs' mate 2 — continues the timeline, not overlaps it).
+	traceBase := 0.0
+	if p.tracer != nil {
+		p.traceMu.Lock()
+		traceBase = p.traceSec
+		p.traceMu.Unlock()
+		ctx.SetTracer(p.tracer)
+	}
 	for i, dev := range p.devices {
 		queues[i] = cl.NewQueue(dev)
 		queues[i].SetExecMode(p.exec)
+		if p.tracer != nil {
+			queues[i].SetTracer(p.tracer)
+			queues[i].SetTraceOrigin(traceBase)
+		}
+	}
+	if t := p.tracer; t != nil {
+		id := t.Begin("host", "map", traceBase,
+			trace.I64("reads", int64(len(reads))),
+			trace.I64("devices", int64(len(p.devices))),
+			trace.Str("mapper", p.name))
+		defer func() {
+			p.traceMu.Lock()
+			p.traceSec = traceBase + res.SimSeconds
+			p.traceMu.Unlock()
+			t.End(id, traceBase+res.SimSeconds,
+				trace.F64("sim_seconds", res.SimSeconds),
+				trace.F64("energy_j", res.EnergyJ))
+		}()
 	}
 
 	// Initial assignment: the configured split, as contiguous spans.
@@ -290,7 +343,7 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 	}
 	ran := make([]bool, len(p.devices))
 	var devErrs []error
-	for {
+	for round := 1; ; round++ {
 		outs := make([]outcome, len(p.devices))
 		busyBefore := make([]float64, len(p.devices))
 		var wg sync.WaitGroup
@@ -320,6 +373,11 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 				roundMax = d
 			}
 		}
+		if t := p.tracer; t != nil {
+			t.Span("host", fmt.Sprintf("round %d", round),
+				traceBase+res.SimSeconds, roundMax,
+				trace.F64("makespan_sec", roundMax))
+		}
 		res.SimSeconds += roundMax
 
 		// Collect outcomes in device order so stats and error lists are
@@ -338,11 +396,31 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 				res.Faults.FailedDevices = append(res.Faults.FailedDevices, dev.Name)
 				devErrs = append(devErrs, fmt.Errorf("device %s: %w", dev.Name, o.err))
 				failSpans = append(failSpans, o.unmapped...)
+				if t := p.tracer; t != nil {
+					t.Instant(dev.Name, "device-failed",
+						trace.Str("error", o.err.Error()),
+						trace.I64("unmapped_reads", int64(spanReads(o.unmapped))))
+				}
 			case o.deadline:
 				eligible[di] = false
 				devErrs = append(devErrs, fmt.Errorf(
 					"device %s: simulated deadline %gs exceeded", dev.Name, p.deadlineFor(di)))
 				lateSpans = append(lateSpans, o.unmapped...)
+				if t := p.tracer; t != nil {
+					t.Instant(dev.Name, "deadline-exceeded",
+						trace.F64("deadline_sec", p.deadlineFor(di)),
+						trace.I64("unmapped_reads", int64(spanReads(o.unmapped))))
+				}
+			}
+		}
+		if t := p.tracer; t != nil {
+			if n := spanReads(failSpans); n > 0 {
+				t.Instant("host", "failover", trace.I64("reads", int64(n)),
+					trace.I64("round", int64(round)))
+			}
+			if n := spanReads(lateSpans); n > 0 {
+				t.Instant("host", "deadline-migrate", trace.I64("reads", int64(n)),
+					trace.I64("round", int64(round)))
 			}
 		}
 		res.Faults.FailoverReads += spanReads(failSpans)
@@ -518,12 +596,20 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending
 				// around degraded rather than give the device up.
 				batch = (end - start + 1) / 2
 				o.stats.DegradedBatches++
+				if t := p.tracer; t != nil {
+					t.Instant(dev.Name, "batch-halved",
+						trace.I64("batch", int64(batch)), trace.Str("error", err.Error()))
+				}
 			case cl.IsTransient(err) && attempts < opt.Retries:
 				attempts++
 				queue.ChargePenalty(backoff)
 				o.stats.Retries++
 				o.stats.BackoffSimSec += backoff
 				backoff *= 2
+				if t := p.tracer; t != nil {
+					t.Instant(dev.Name, "retry",
+						trace.I64("attempt", int64(attempts)), trace.Str("error", err.Error()))
+				}
 			default:
 				o.failed = true
 				o.err = err
@@ -553,6 +639,10 @@ func (p *Pipeline) allocWithRetry(ctx *cl.Context, queue *cl.Queue, size int64, 
 		o.stats.Retries++
 		o.stats.BackoffSimSec += backoff
 		backoff *= 2
+		if t := p.tracer; t != nil {
+			t.Instant(queue.Device().Name, "retry",
+				trace.I64("attempt", int64(attempts+1)), trace.Str("error", err.Error()))
+		}
 	}
 }
 
@@ -572,10 +662,29 @@ func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, reads [][]byte, ou
 	defer outBuf.Free()
 
 	kern := p.kernel(reads, out, opt, inBuf.Size()+outBuf.Size())
+	if p.itemHist != nil {
+		kern = instrumentKernel(kern, p.itemHist)
+	}
 	if _, err := queue.EnqueueNDRange(kern, len(reads)); err != nil {
 		return err
 	}
 	return nil
+}
+
+// instrumentKernel wraps a kernel so each work item's total charged op
+// count is observed into h after the inner body runs. The wrapper keeps
+// the kernel contract: it delegates every item to the already-vetted
+// inner body and adds no captured mutable state (Histogram.Observe is
+// internally synchronised, and op counts are integers so the histogram
+// sum is order-independent — serial and parallel runs agree exactly).
+func instrumentKernel(k *cl.Kernel, h *trace.Histogram) *cl.Kernel {
+	inner := k.Body
+	out := *k
+	out.Body = func(wi *cl.WorkItem, state any) {
+		inner(wi, state)
+		h.Observe(float64(wi.Cost().Ops()))
+	}
+	return &out
 }
 
 // kernelState is one host worker's private memory for the combined
@@ -665,6 +774,8 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 			itemCost.VerifyWords += vc.VerifyWords
 			itemCost.Items = 1
 			itemCost.Bytes = perItemBytes
+			itemCost.Candidates = int64(len(dd))
+			itemCost.Verified = int64(len(ms))
 			wi.Charge(itemCost)
 			out[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
 		},

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+)
+
+func samePairs(t *testing.T, want, got [][]mapper.Pair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("pair counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("fragment %d pairs differ:\nwant %+v\ngot  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestMapPairsRecoversFromFaultPlan extends the PR 3 acceptance scenario
+// to paired-end mapping: with transient launch failures, an injected
+// allocation failure and a permanent device loss spread across a
+// two-device split, MapPairs must return pairs and per-mate mappings
+// bit-identical to a fault-free serial single-device run. The plans hit
+// both mate batches (the second Map call continues the devices' fault
+// ordinals), so recovery is exercised across the mate boundary.
+func TestMapPairsRecoversFromFaultPlan(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, _, mkDevs, maxLoc := faultWorld(t, 120)
+	ps, err := simulate.PairedReads(ref, 60, simulate.ERR012100, 300, 30, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.PairOptions{Options: mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}}
+
+	baselineP, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineP.MapPairs(ps.Reads1, ps.Reads2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Faults.Any() {
+		t.Fatalf("fault-free baseline reports recovery: %+v", baseline.Faults)
+	}
+
+	devs := mkDevs()
+	// Device A: a transient launch failure during mate 1 and an injected
+	// allocation failure whose ordinal lands on a mate 2 batch buffer.
+	devs[0].InstallFaults(&cl.FaultPlan{
+		FailEnqueues: map[int]cl.Code{2: cl.OutOfResources},
+		FailAllocs:   map[int]cl.Code{10: cl.MemObjectAllocationFailure},
+	})
+	// Device B survives mate 1, then dies for good early in mate 2.
+	devs[1].InstallFaults(&cl.FaultPlan{
+		FailEnqueues: map[int]cl.Code{4: cl.DeviceNotAvailable},
+	})
+	p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MapPairs(ps.Reads1, ps.Reads2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samePairs(t, baseline.Pairs, res.Pairs)
+	sameMappings(t, baseline.Single1, res.Single1)
+	sameMappings(t, baseline.Single2, res.Single2)
+
+	f := res.Faults
+	if !f.Any() {
+		t.Fatal("fault plans injected nothing — the comparison is vacuous")
+	}
+	if f.Retries < 1 {
+		t.Errorf("transient retry not accounted: %+v", f)
+	}
+	if f.DegradedBatches < 1 {
+		t.Errorf("batch halving not accounted: %+v", f)
+	}
+	if f.FailoverReads < 1 || len(f.FailedDevices) != 1 || f.FailedDevices[0] != "CPU-B" {
+		t.Errorf("failover not accounted: %+v", f)
+	}
+}
+
+// TestMapPairsFaultDeterminismSerialParallel: the paired-end recovery
+// path must stay bit-identical between host execution modes, like the
+// single-end path PR 3 covered.
+func TestMapPairsFaultDeterminismSerialParallel(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, _, mkDevs, maxLoc := faultWorld(t, 120)
+	ps, err := simulate.PairedReads(ref, 60, simulate.ERR012100, 300, 30, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.PairOptions{Options: mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}}
+
+	run := func(mode cl.ExecMode) *mapper.PairResult {
+		devs := mkDevs()
+		devs[0].InstallFaults(&cl.FaultPlan{
+			FailEnqueues: map[int]cl.Code{2: cl.OutOfResources},
+			FailAllocs:   map[int]cl.Code{10: cl.MemObjectAllocationFailure},
+		})
+		devs[1].InstallFaults(&cl.FaultPlan{
+			FailEnqueues: map[int]cl.Code{4: cl.DeviceNotAvailable},
+		})
+		p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.MapPairs(ps.Reads1, ps.Reads2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(cl.Serial)
+	parallel := run(cl.Parallel)
+	samePairs(t, serial.Pairs, parallel.Pairs)
+	if serial.SimSeconds != parallel.SimSeconds || serial.EnergyJ != parallel.EnergyJ ||
+		serial.Cost != parallel.Cost {
+		t.Errorf("simulated results differ:\nserial   %v/%v/%+v\nparallel %v/%v/%+v",
+			serial.SimSeconds, serial.EnergyJ, serial.Cost,
+			parallel.SimSeconds, parallel.EnergyJ, parallel.Cost)
+	}
+	if !reflect.DeepEqual(serial.Faults, parallel.Faults) {
+		t.Errorf("FaultStats differ:\nserial   %+v\nparallel %+v",
+			serial.Faults, parallel.Faults)
+	}
+	if !serial.Faults.Any() {
+		t.Error("fault plans injected nothing — the comparison is vacuous")
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's JSON array
+// (the "traceEvents" envelope understood by chrome://tracing and
+// Perfetto). Timestamps and durations are microseconds; here they carry
+// simulated time, so the viewer's timeline is the simulated timeline.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorder's events in Chrome trace-event
+// JSON. Lanes become threads of one process, ordered and numbered by
+// sorted lane name; spans become complete ('X') events and instants 'i'
+// events, with attributes in args. Event order and lane numbering are
+// derived only from lane names and per-lane append order, so equal
+// recordings serialise byte-identically.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	lanes := r.Lanes()
+	tid := make(map[string]int, len(lanes))
+	evs := make([]chromeEvent, 0, len(lanes)+len(r.Events())+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "repute-sim"},
+	})
+	for i, lane := range lanes {
+		tid[lane] = i + 1
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i + 1,
+			Args: map[string]any{"name": lane},
+		})
+	}
+	for _, ev := range r.Events() {
+		ce := chromeEvent{
+			Name: ev.Name,
+			TS:   ev.Start * 1e6,
+			PID:  1,
+			TID:  tid[ev.Lane],
+		}
+		if len(ev.Attrs) > 0 {
+			ce.Args = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				ce.Args[a.Key] = a.Value()
+			}
+		}
+		switch ev.Phase {
+		case 'X':
+			ce.Phase = "X"
+			dur := ev.Dur * 1e6
+			ce.Dur = &dur
+		case 'i':
+			ce.Phase = "i"
+			ce.Scope = "t"
+		default:
+			continue
+		}
+		evs = append(evs, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Counter is a monotonically increasing metric (retries, candidates,
+// injected faults). Safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by d (d < 0 is ignored).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-value metric (per-device busy seconds, energy joules,
+// benchmark speedups). Safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into fixed upper-bound buckets, plus an
+// overflow bucket. It tracks count and sum; when every observation is an
+// integer below 2⁵³ (the runtime's op counts and byte sizes are), the
+// float64 sum is exact and therefore independent of observation order —
+// part of the serial/parallel determinism contract.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []int64   // len(bounds)+1; last is overflow
+	count  int64
+	sum    float64
+}
+
+// TimeBuckets are the default upper bounds (simulated seconds) for
+// latency-shaped histograms: 1 µs to 100 s in decade steps.
+func TimeBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+}
+
+// OpsBuckets are the default upper bounds for per-item operation-count
+// histograms.
+func OpsBuckets() []float64 {
+	return []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds;
+// a trailing overflow bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// copyFrom replaces h's state with src's. Both histograms must share the
+// same bounds.
+func (h *Histogram) copyFrom(src *Histogram) {
+	src.mu.Lock()
+	counts := append([]int64(nil), src.counts...)
+	count, sum := src.count, src.sum
+	src.mu.Unlock()
+	h.mu.Lock()
+	copy(h.counts, counts)
+	h.count, h.sum = count, sum
+	h.mu.Unlock()
+}
+
+// snapshot returns the histogram's state as a HistogramSnapshot.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets := make([]BucketSnapshot, 0, len(h.counts))
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		buckets = append(buckets, BucketSnapshot{LE: le, Count: n})
+	}
+	return HistogramSnapshot{Count: h.count, Sum: h.sum, Buckets: buckets}
+}
+
+// Registry is a namespace of metrics. Metric handles are get-or-create
+// and stable: repeated lookups of one name return the same handle.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot: the count of
+// observations at or below the upper bound LE ("+Inf" for overflow).
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state in a snapshot. Empty buckets
+// are omitted.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-serialisable with
+// deterministic key order (encoding/json sorts map keys).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			s.Counters[k] = v.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for k, v := range gauges {
+			s.Gauges[k] = v.Value()
+		}
+	}
+	if len(histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(histograms))
+		for k, v := range histograms {
+			s.Histograms[k] = v.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Map keys are emitted
+// sorted, so equal snapshots serialise byte-identically.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// formatFloat renders a bucket bound compactly ("0.001", "10").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,118 @@
+// Package trace is the observability layer of the simulated OpenCL
+// runtime: structured spans and instant events over *simulated* time, a
+// metrics registry (counters, gauges, histograms) snapshotable as JSON,
+// and a Chrome trace-event exporter so a whole multi-device mapping run
+// can be inspected in chrome://tracing or Perfetto.
+//
+// The paper's evaluation (§IV) is built entirely on per-stage timing,
+// power and energy accounting across heterogeneous devices; this package
+// makes those quantities visible per event instead of only as end-of-run
+// aggregates. Three properties shape the design:
+//
+//   - Zero dependency: stdlib only, importable from internal/cl without
+//     cycles (this package imports nothing from the repository).
+//   - Zero hot-path overhead when disabled: the runtime stores a nil
+//     tracer for Noop (see IsNoop), so the only cost with tracing off is
+//     one nil check per hook.
+//   - Determinism: events are keyed on lane ordinals and simulated time,
+//     never on wall clocks or map iteration, and exports order lanes and
+//     records deterministically — a serial and a parallel host run of the
+//     same workload emit byte-identical traces (asserted by the
+//     internal/core determinism suite).
+//
+// A lane is one timeline in the trace: a device's busy-time axis, or the
+// host coordinator's makespan axis. Within a lane all events come from a
+// single goroutine at a time, which is what makes per-lane record order
+// well defined.
+package trace
+
+// Attr is one key/value annotation on a span or instant event. Exactly
+// one of the value fields is meaningful, per the constructor used.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	i64  int64
+	f64  float64
+}
+
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt64
+	kindFloat64
+)
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: kindString, str: v} }
+
+// I64 builds an integer attribute.
+func I64(key string, v int64) Attr { return Attr{Key: key, kind: kindInt64, i64: v} }
+
+// F64 builds a float attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat64, f64: v} }
+
+// Value returns the attribute's value as the dynamic type it was built
+// with (string, int64 or float64) — the form the JSON exporters consume.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt64:
+		return a.i64
+	case kindFloat64:
+		return a.f64
+	default:
+		return a.str
+	}
+}
+
+// SpanID identifies a span opened by Begin; 0 is never a valid id.
+type SpanID int64
+
+// Tracer receives the runtime's observability events. All times are
+// simulated seconds on the given lane's timeline. Implementations must
+// be safe for concurrent use: device lanes are driven by per-device host
+// goroutines.
+//
+// Span records a completed span covering [start, start+dur). Begin/End
+// are for spans whose extent is unknown up front (the pipeline's
+// per-mapping-run span around its recovery rounds); Begin reserves the
+// span's place in lane order. Instant records a point event at the
+// lane's current frontier — the largest span end seen on the lane — for
+// decisions that have no simulated duration of their own (an injected
+// fault, a batch halving, a failover).
+type Tracer interface {
+	Span(lane, name string, start, dur float64, attrs ...Attr)
+	Begin(lane, name string, start float64, attrs ...Attr) SpanID
+	End(id SpanID, end float64, attrs ...Attr)
+	Instant(lane, name string, attrs ...Attr)
+}
+
+// Noop is the default tracer: it discards everything. Hook sites store
+// nil instead of a Noop (see IsNoop), so installing it is guaranteed to
+// add zero work on the hot path — asserted by the zero-cost tests and
+// the enqueue benchmarks in internal/cl.
+type Noop struct{}
+
+// Span implements Tracer.
+func (Noop) Span(lane, name string, start, dur float64, attrs ...Attr) {}
+
+// Begin implements Tracer.
+func (Noop) Begin(lane, name string, start float64, attrs ...Attr) SpanID { return 0 }
+
+// End implements Tracer.
+func (Noop) End(id SpanID, end float64, attrs ...Attr) {}
+
+// Instant implements Tracer.
+func (Noop) Instant(lane, name string, attrs ...Attr) {}
+
+// IsNoop reports whether t is nil or the built-in no-op tracer. Hook
+// sites (cl.Queue.SetTracer, core.Config.Tracer) normalise Noop to nil
+// so the disabled path is a single pointer comparison.
+func IsNoop(t Tracer) bool {
+	if t == nil {
+		return true
+	}
+	_, ok := t.(Noop)
+	return ok
+}

@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAttrValues(t *testing.T) {
+	if v := Str("k", "s").Value(); v != "s" {
+		t.Errorf("Str value = %v", v)
+	}
+	if v := I64("k", 7).Value(); v != int64(7) {
+		t.Errorf("I64 value = %v", v)
+	}
+	if v := F64("k", 2.5).Value(); v != 2.5 {
+		t.Errorf("F64 value = %v", v)
+	}
+}
+
+func TestIsNoop(t *testing.T) {
+	if !IsNoop(nil) || !IsNoop(Noop{}) {
+		t.Error("nil and Noop{} must be no-ops")
+	}
+	if IsNoop(NewRecorder()) {
+		t.Error("Recorder must not be a no-op")
+	}
+	// The Noop methods must be callable and inert.
+	var n Noop
+	id := n.Begin("l", "x", 0)
+	if id != 0 {
+		t.Errorf("Noop.Begin = %d, want 0", id)
+	}
+	n.Span("l", "x", 0, 1)
+	n.End(id, 1)
+	n.Instant("l", "x")
+}
+
+func TestRecorderSpanOrderAndLanes(t *testing.T) {
+	r := NewRecorder()
+	r.Span("dev-b", "b1", 0, 1)
+	r.Span("dev-a", "a1", 0, 2)
+	r.Span("dev-b", "b2", 1, 1)
+	evs := r.Events()
+	var got []string
+	for _, ev := range evs {
+		got = append(got, ev.Lane+"/"+ev.Name)
+	}
+	want := []string{"dev-a/a1", "dev-b/b1", "dev-b/b2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	lanes := r.Lanes()
+	if len(lanes) != 2 || lanes[0] != "dev-a" || lanes[1] != "dev-b" {
+		t.Errorf("Lanes = %v", lanes)
+	}
+}
+
+func TestRecorderBeginEnd(t *testing.T) {
+	r := NewRecorder()
+	id := r.Begin("host", "map", 1, I64("reads", 10))
+	if err := r.Validate(); err == nil {
+		t.Error("Validate must fail while a span is open")
+	}
+	r.End(id, 4, F64("energy_j", 2))
+	r.End(id, 9) // double End is ignored
+	r.End(999, 9)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Start != 1 || evs[0].Dur != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if len(evs[0].Attrs) != 2 {
+		t.Errorf("End must append attrs: %+v", evs[0].Attrs)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// End before Begin's start clamps the duration to zero.
+	id2 := r.Begin("host", "neg", 5)
+	r.End(id2, 3)
+	for _, ev := range r.Events() {
+		if ev.Name == "neg" && ev.Dur != 0 {
+			t.Errorf("negative span not clamped: %+v", ev)
+		}
+	}
+}
+
+func TestRecorderInstantFrontier(t *testing.T) {
+	r := NewRecorder()
+	r.Span("dev", "work", 2, 3)
+	r.Instant("dev", "alloc-fault", Str("error", "boom"))
+	r.Instant("fresh", "note")
+	var at float64 = -1
+	for _, ev := range r.Events() {
+		if ev.Name == "alloc-fault" {
+			at = ev.Start
+		}
+		if ev.Lane == "fresh" && ev.Start != 0 {
+			t.Errorf("instant on fresh lane at %g, want 0", ev.Start)
+		}
+	}
+	if at != 5 {
+		t.Errorf("instant pinned at %g, want frontier 5", at)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	r := NewRecorder()
+	r.Span("dev", "outer", 0, 2)
+	r.Span("dev", "straddle", 1, 3) // overlaps outer without nesting
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Errorf("Validate = %v, want overlap error", err)
+	}
+	r2 := NewRecorder()
+	r2.Span("dev", "outer", 0, 4)
+	r2.Span("dev", "inner", 1, 2)
+	r2.Span("dev", "after", 4, 1)
+	if err := r2.Validate(); err != nil {
+		t.Errorf("nested spans must validate: %v", err)
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("retries_total")
+	c.Add(2)
+	c.Add(-5) // ignored
+	if reg.Counter("retries_total") != c {
+		t.Error("Counter not stable across lookups")
+	}
+	if c.Value() != 2 {
+		t.Errorf("counter = %d, want 2", c.Value())
+	}
+	g := reg.Gauge("speedup")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %g", g.Value())
+	}
+	h := reg.Histogram("lat", TimeBuckets())
+	h.Observe(5e-7)
+	h.Observe(0.02)
+	h.Observe(1e9) // overflow bucket
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["retries_total"] != 2 || snap.Gauges["speedup"] != 3.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Count != 3 || len(hs.Buckets) != 3 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if hs.Buckets[len(hs.Buckets)-1].LE != "+Inf" {
+		t.Errorf("overflow bucket = %+v", hs.Buckets)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := snap.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("equal snapshots must serialise byte-identically")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg.Counter("n").Add(1)
+				reg.Histogram("h", OpsBuckets()).Observe(float64(j))
+				reg.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("n").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := reg.Histogram("h", nil).Count(); got != 800 {
+		t.Errorf("histogram count = %d, want 800", got)
+	}
+}
+
+func TestRecorderMetricsDerivation(t *testing.T) {
+	r := NewRecorder()
+	r.Span("gpu-0", "enqueue:map", 0, 2,
+		F64("energy_j", 10), I64("candidates", 30), I64("verified", 4))
+	r.Span("gpu-0", "enqueue:map", 2, 1, F64("energy_j", 5))
+	r.Span("gpu-0", "penalty", 3, 0.5, F64("energy_j", 1))
+	r.Span("host", "map", 0, 4)
+	r.Instant("gpu-0", "retry")
+	r.Instant("gpu-0", "enqueue-fault", Str("error", "x"))
+	r.Instant("gpu-0", "batch-halved")
+	r.Instant("host", "failover", I64("reads", 9))
+	r.ItemOpsHistogram().Observe(100)
+	m := r.Metrics()
+	checks := map[string]int64{
+		"enqueues_total/gpu-0": 2,
+		"candidates_total":     30,
+		"verified_total":       4,
+		"retries_total":        1,
+		"faults_total":         1,
+		"batch_halvings_total": 1,
+		"failovers_total":      1,
+	}
+	for k, want := range checks {
+		if got := m.Counters[k]; got != want {
+			t.Errorf("%s = %d, want %d", k, got, want)
+		}
+	}
+	if got := m.Gauges["device_busy_seconds/gpu-0"]; got != 3.5 {
+		t.Errorf("busy seconds = %g, want 3.5", got)
+	}
+	if got := m.Gauges["energy_joules/gpu-0"]; got != 16 {
+		t.Errorf("energy = %g, want 16", got)
+	}
+	if _, ok := m.Gauges["device_busy_seconds/host"]; ok {
+		t.Error("host lane must not report device busy seconds")
+	}
+	if hs := m.Histograms["item_ops"]; hs.Count != 1 {
+		t.Errorf("item_ops = %+v", hs)
+	}
+	if hs := m.Histograms["enqueue_seconds"]; hs.Count != 2 {
+		t.Errorf("enqueue_seconds = %+v", hs)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Span("dev-a", "enqueue:map", 0, 0.25, I64("global_size", 64))
+	id := r.Begin("host", "map", 0)
+	r.End(id, 0.25)
+	r.Instant("dev-a", "retry", Str("error", "transient"))
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	var names []string
+	threads := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		names = append(names, ev.Phase+":"+ev.Name)
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			threads[ev.Args["name"].(string)] = ev.TID
+		}
+		if ev.Phase == "X" {
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("span %s has bad duration %v", ev.Name, ev.Dur)
+			}
+			if ev.Name == "enqueue:map" && *ev.Dur != 0.25*1e6 {
+				t.Errorf("span dur = %g µs, want 250000", *ev.Dur)
+			}
+		}
+		if ev.Phase == "i" && ev.Scope != "t" {
+			t.Errorf("instant %s scope = %q, want t", ev.Name, ev.Scope)
+		}
+	}
+	if threads["dev-a"] != 1 || threads["host"] != 2 {
+		t.Errorf("thread metadata = %v", threads)
+	}
+	// Byte-identical on re-export.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-export must be byte-identical")
+	}
+}
+
+func TestHistogramCopyFrom(t *testing.T) {
+	a := NewHistogram(OpsBuckets())
+	a.Observe(3)
+	a.Observe(3000)
+	b := NewHistogram(OpsBuckets())
+	b.copyFrom(a)
+	if b.Count() != 2 || b.Sum() != 3003 {
+		t.Errorf("copyFrom: count=%d sum=%g", b.Count(), b.Sum())
+	}
+}
+
+func TestRecorderConcurrentLanes(t *testing.T) {
+	// Concurrent writers on distinct lanes: per-lane order must be each
+	// writer's program order regardless of interleaving.
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for _, lane := range []string{"a", "b", "c", "d"} {
+		wg.Add(1)
+		go func(lane string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Span(lane, "s", float64(i), 1)
+				r.Instant(lane, "i")
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]float64{}
+	for _, ev := range r.Events() {
+		if ev.Phase != 'X' {
+			continue
+		}
+		if ev.Start < prev[ev.Lane] {
+			t.Fatalf("lane %s out of order: %g after %g", ev.Lane, ev.Start, prev[ev.Lane])
+		}
+		prev[ev.Lane] = ev.Start
+	}
+}
