@@ -9,6 +9,12 @@
 //	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
 //	           [-max-locations 100] [-selector dp|coral] [-out out.sam]
 //	           [-trace trace.json]
+//	           [-batch 4096 [-lenient] [-checkpoint run.ckpt [-resume]]]
+//
+// With -batch N the reads stream through the mapper in batches of N
+// (bounded memory); -checkpoint makes the run crash-safe and -resume
+// continues an interrupted one, bit-identically. -lenient skips
+// malformed records instead of aborting.
 package main
 
 import (
@@ -178,9 +184,29 @@ func runMap(args []string) error {
 	cigarFlag := fs.Bool("cigar", false, "recover CIGAR strings for reported mappings")
 	outPath := fs.String("out", "", "SAM output path (default stdout)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the simulated run (chrome://tracing, Perfetto)")
+	batchFlag := fs.Int("batch", 0, "streaming mode: map reads in batches of this size (0 = load everything in memory)")
+	ckptFlag := fs.String("checkpoint", "", "streaming mode: persist a resumable checkpoint here at every batch boundary")
+	resumeFlag := fs.Bool("resume", false, "continue an interrupted run from -checkpoint")
+	lenientFlag := fs.Bool("lenient", false, "streaming mode: skip malformed/unmappable records instead of aborting")
 	fs.Parse(args)
 	if *indexPath == "" || *readsPath == "" {
 		return fmt.Errorf("map: -index and -reads are required")
+	}
+	streaming := *batchFlag > 0
+	if *ckptFlag != "" && !streaming {
+		return fmt.Errorf("map: -checkpoint requires -batch > 0 (checkpoints are written at batch boundaries)")
+	}
+	if *resumeFlag && *ckptFlag == "" {
+		return fmt.Errorf("map: -resume requires -checkpoint")
+	}
+	if *lenientFlag && !streaming {
+		return fmt.Errorf("map: -lenient requires -batch > 0 (lenient parsing is a streaming-ingest mode)")
+	}
+	if streaming && *reads2Path != "" {
+		return fmt.Errorf("map: -batch is not supported in paired mode")
+	}
+	if streaming && *outPath == "" {
+		return fmt.Errorf("map: -batch requires -out (streamed SAM cannot go to stdout)")
 	}
 
 	ixf, err := os.Open(*indexPath)
@@ -201,23 +227,6 @@ func runMap(args []string) error {
 	g, err := genome.FromParts(contigs, ix.Text().Unpack())
 	if err != nil {
 		return err
-	}
-
-	rf, err := os.Open(*readsPath)
-	if err != nil {
-		return err
-	}
-	recs, err := fastx.ReadFastq(rf)
-	rf.Close()
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(0))
-	reads := make([][]byte, len(recs))
-	for i, rec := range recs {
-		if reads[i], err = fastx.CodesOf(rec, rng); err != nil {
-			return err
-		}
 	}
 
 	devices, err := platformDevices(*platform)
@@ -250,6 +259,48 @@ func runMap(args []string) error {
 	if err != nil {
 		return err
 	}
+	opt := mapper.Options{
+		MaxErrors:    *errorsFlag,
+		MaxLocations: *maxLoc,
+		MinSeedLen:   *sminFlag,
+	}
+
+	if streaming {
+		if err := runMapStream(p, g, ix, streamConfig{
+			readsPath: *readsPath,
+			outPath:   *outPath,
+			ckptPath:  *ckptFlag,
+			resume:    *resumeFlag,
+			lenient:   *lenientFlag,
+			batch:     *batchFlag,
+			cigar:     *cigarFlag,
+			opt:       opt,
+			extra: []string{"selector=" + *selector, "platform=" + *platform,
+				"split=" + *splitFlag},
+			devices: devices,
+			tracer:  cfg.Tracer,
+		}); err != nil {
+			return err
+		}
+		return writeTrace(rec, *tracePath)
+	}
+
+	rf, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	recs, err := fastx.ReadFastq(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(0))
+	reads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if reads[i], err = fastx.CodesOf(rec, rng); err != nil {
+			return err
+		}
+	}
 
 	if *reads2Path != "" {
 		if err := runMapPaired(p, g, recs, reads, *reads2Path, *errorsFlag, *sminFlag,
@@ -260,11 +311,7 @@ func runMap(args []string) error {
 	}
 
 	wallStart := time.Now()
-	res, err := p.Map(reads, mapper.Options{
-		MaxErrors:    *errorsFlag,
-		MaxLocations: *maxLoc,
-		MinSeedLen:   *sminFlag,
-	})
+	res, err := p.Map(reads, opt)
 	if err != nil {
 		return err
 	}
@@ -289,39 +336,12 @@ func runMap(args []string) error {
 	}
 	dropped := 0
 	for i, rec := range recs {
-		var alns []sam.Alignment
-		for _, m := range res.Mappings[i] {
-			// Alignments straddling a contig boundary are concatenation
-			// artefacts; drop them.
-			if g.SpansBoundary(int(m.Pos), len(reads[i])) {
-				dropped++
-				continue
-			}
-			contig, off, err := g.Locate(int(m.Pos))
-			if err != nil {
-				return err
-			}
-			aln := sam.Alignment{
-				RName:  contig.Name,
-				Pos:    int32(off),
-				Strand: m.Strand,
-				Dist:   m.Dist,
-			}
-			if len(alns) == 0 {
-				aln.MAPQ = mapper.EstimateMAPQ(res.Mappings[i])
-			}
-			if *cigarFlag {
-				c, err := p.CigarFor(reads[i], m, *errorsFlag)
-				if err != nil {
-					return fmt.Errorf("read %s: %w", rec.Name, err)
-				}
-				aln.Cigar = c.String()
-			}
-			alns = append(alns, aln)
-		}
-		if err := sw.WriteAlignments(rec.Name, []byte(dna.Decode(reads[i])), alns); err != nil {
+		n, err := writeReadAlignments(sw, g, p, rec.Name, reads[i], res.Mappings[i],
+			*cigarFlag, *errorsFlag)
+		if err != nil {
 			return err
 		}
+		dropped += n
 	}
 	if err := sw.Flush(); err != nil {
 		return err
@@ -339,6 +359,48 @@ func runMap(args []string) error {
 		fmt.Fprintf(os.Stderr, "  %-32s %.3f s busy\n", dev, sec)
 	}
 	return writeTrace(rec, *tracePath)
+}
+
+// writeReadAlignments emits one read's SAM record(s), translating global
+// mapping positions to per-contig coordinates. Alignments straddling a
+// contig boundary are concatenation artefacts and are dropped; the count
+// of dropped alignments is returned. Shared by the in-memory and the
+// streaming map paths so both emit byte-identical records.
+func writeReadAlignments(sw *sam.Writer, g *genome.Genome, p *core.Pipeline,
+	name string, read []byte, ms []mapper.Mapping, cigar bool, maxErrors int) (int, error) {
+	dropped := 0
+	var alns []sam.Alignment
+	for _, m := range ms {
+		if g.SpansBoundary(int(m.Pos), len(read)) {
+			dropped++
+			continue
+		}
+		contig, off, err := g.Locate(int(m.Pos))
+		if err != nil {
+			return dropped, err
+		}
+		aln := sam.Alignment{
+			RName:  contig.Name,
+			Pos:    int32(off),
+			Strand: m.Strand,
+			Dist:   m.Dist,
+		}
+		if len(alns) == 0 {
+			aln.MAPQ = mapper.EstimateMAPQ(ms)
+		}
+		if cigar {
+			c, err := p.CigarFor(read, m, maxErrors)
+			if err != nil {
+				return dropped, fmt.Errorf("read %s: %w", name, err)
+			}
+			aln.Cigar = c.String()
+		}
+		alns = append(alns, aln)
+	}
+	if err := sw.WriteAlignments(name, []byte(dna.Decode(read)), alns); err != nil {
+		return dropped, err
+	}
+	return dropped, nil
 }
 
 // writeTrace validates and exports the recorded trace, if recording was

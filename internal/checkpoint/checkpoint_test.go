@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/fmindex"
+	"repro/internal/mapper"
+)
+
+func testIndex(t *testing.T, text []byte) *fmindex.Index {
+	t.Helper()
+	return fmindex.Build(text, fmindex.Options{})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	st := &State{
+		Version:       Version,
+		Fingerprint:   "abc123",
+		BatchSize:     64,
+		Batches:       3,
+		Reads:         192,
+		Offset:        40961,
+		Line:          768,
+		RNGDraws:      17,
+		SAMBytes:      99182,
+		Mapped:        180,
+		Locations:     411,
+		Dropped:       2,
+		SimSeconds:    1.25,
+		EnergyJ:       3.5,
+		DeviceSeconds: map[string]float64{"cpu": 1.25},
+		Faults: mapper.FaultStats{
+			Retries:        2,
+			SkippedRecords: 1,
+			SkipReasons:    map[string]int{"length-mismatch": 1},
+		},
+		FaultOrdinals: map[string]cl.FaultOrdinals{"cpu": {Enqueues: 7, Allocs: 21}},
+	}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	if err := Save(path, got); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := os.ReadFile(path)
+	if !bytes.Equal(b1, b2) {
+		t.Error("save is not deterministic: re-saving a loaded state changed the bytes")
+	}
+	if got.Offset != st.Offset || got.RNGDraws != st.RNGDraws || got.SAMBytes != st.SAMBytes {
+		t.Errorf("round-trip lost position state: %+v", got)
+	}
+	if got.FaultOrdinals["cpu"] != st.FaultOrdinals["cpu"] {
+		t.Errorf("round-trip lost fault ordinals: %+v", got.FaultOrdinals)
+	}
+	if got.Faults.SkipReasons["length-mismatch"] != 1 {
+		t.Errorf("round-trip lost skip reasons: %+v", got.Faults)
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, &State{Version: Version + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("newer format version must be rejected")
+	}
+}
+
+func TestVerifyMismatchIsTyped(t *testing.T) {
+	st := &State{Fingerprint: "old"}
+	err := st.Verify("new")
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MismatchError, got %v", err)
+	}
+	if me.Got != "old" || me.Want != "new" {
+		t.Errorf("mismatch fields: %+v", me)
+	}
+	if err := st.Verify("old"); err != nil {
+		t.Errorf("matching fingerprint must verify: %v", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	text := bytes.Repeat([]byte{0, 1, 2, 3, 2, 1}, 400)
+	ix := testIndex(t, text)
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+
+	base, err := Fingerprint(ix, opt, "selector=dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Fingerprint(ix, opt, "selector=dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != same {
+		t.Error("fingerprint is not deterministic")
+	}
+	// Defaulted and explicit-default options must hash identically: a
+	// resume that spells out the defaults is not a different run.
+	expl, err := Fingerprint(ix, opt.WithDefaults(), "selector=dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl != base {
+		t.Error("explicit default options changed the fingerprint")
+	}
+
+	for name, fp := range map[string]func() (string, error){
+		"options": func() (string, error) {
+			o := opt
+			o.MaxErrors = 5
+			return Fingerprint(ix, o, "selector=dp")
+		},
+		"extras": func() (string, error) {
+			return Fingerprint(ix, opt, "selector=coral")
+		},
+		"index": func() (string, error) {
+			text2 := append(append([]byte(nil), text...), 0, 1, 2)
+			return Fingerprint(testIndex(t, text2), opt, "selector=dp")
+		},
+	} {
+		got, err := fp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, &State{Version: Version, Fingerprint: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, &State{Version: Version, Fingerprint: "b", Batches: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != "b" {
+		t.Errorf("overwrite lost the newer state: %+v", st)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after rename")
+	}
+}

@@ -82,6 +82,43 @@ func (d *Device) InstallFaults(plan *FaultPlan) {
 // FaultsInstalled reports whether a fault plan is armed on d.
 func (d *Device) FaultsInstalled() bool { return d.faults != nil }
 
+// FaultOrdinals is a snapshot of a device's fault-injection counters.
+// Checkpoints record it so a resumed run can restore the injection
+// schedule exactly where the interrupted run stopped: without the
+// restore, a resume would replay the plan from ordinal 1 and inject a
+// different fault sequence than the uninterrupted run saw.
+type FaultOrdinals struct {
+	Enqueues int  `json:"enqueues"`
+	Allocs   int  `json:"allocs"`
+	Dead     bool `json:"dead,omitempty"`
+}
+
+// FaultOrdinals snapshots the device's injection counters; ok is false
+// when no plan is armed.
+func (d *Device) FaultOrdinals() (o FaultOrdinals, ok bool) {
+	s := d.faults
+	if s == nil {
+		return FaultOrdinals{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return FaultOrdinals{Enqueues: s.enq, Allocs: s.alloc, Dead: s.dead}, true
+}
+
+// RestoreFaultOrdinals seats the device's injection counters at a
+// snapshot taken by FaultOrdinals. Call it after InstallFaults and
+// before any enqueue; it reports false when no plan is armed.
+func (d *Device) RestoreFaultOrdinals(o FaultOrdinals) bool {
+	s := d.faults
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enq, s.alloc, s.dead = o.Enqueues, o.Allocs, o.Dead
+	return true
+}
+
 // admitEnqueue advances the device's enqueue ordinal and returns either
 // the throttle factor for this enqueue or the injected failure.
 func (s *faultState) admitEnqueue(dev, kernel string) (factor float64, err error) {

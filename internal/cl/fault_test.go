@@ -324,3 +324,89 @@ func TestChargePenaltyAddsBusyAndEnergy(t *testing.T) {
 		t.Errorf("EnergyJ = %v, want %v", got, want)
 	}
 }
+
+// TestFaultOrdinalsSnapshotRestore is the checkpoint-continuity
+// contract: restoring a snapshot of the injection counters on a fresh
+// device makes the plan's schedule continue where the snapshot was
+// taken, instead of replaying from ordinal 1.
+func TestFaultOrdinalsSnapshotRestore(t *testing.T) {
+	plan := &FaultPlan{FailEnqueues: map[int]Code{3: OutOfResources}}
+
+	// First process: two successful enqueues, then a snapshot.
+	dev1 := testDevice()
+	dev1.InstallFaults(plan)
+	q1 := NewQueue(dev1)
+	q1.SetExecMode(Serial)
+	for i := 0; i < 2; i++ {
+		if _, err := q1.EnqueueNDRange(itemKernel(), 4); err != nil {
+			t.Fatalf("enqueue %d: %v", i+1, err)
+		}
+	}
+	snap, ok := dev1.FaultOrdinals()
+	if !ok {
+		t.Fatal("FaultOrdinals on armed device returned ok=false")
+	}
+	if snap.Enqueues != 2 || snap.Dead {
+		t.Fatalf("snapshot = %+v, want 2 enqueues, alive", snap)
+	}
+
+	// Resumed process: fresh device, same plan, restored counters. The
+	// very next enqueue is ordinal 3 and must take the injected fault.
+	dev2 := testDevice()
+	dev2.InstallFaults(plan)
+	if !dev2.RestoreFaultOrdinals(snap) {
+		t.Fatal("RestoreFaultOrdinals on armed device returned false")
+	}
+	q2 := NewQueue(dev2)
+	q2.SetExecMode(Serial)
+	if _, err := q2.EnqueueNDRange(itemKernel(), 4); !errors.Is(err, OutOfResources) {
+		t.Fatalf("restored enqueue err = %v, want CL_OUT_OF_RESOURCES (ordinal 3)", err)
+	}
+
+	// Without the restore the same enqueue is ordinal 1 and succeeds —
+	// the divergence the checkpoint protocol exists to prevent.
+	dev3 := testDevice()
+	dev3.InstallFaults(plan)
+	q3 := NewQueue(dev3)
+	q3.SetExecMode(Serial)
+	if _, err := q3.EnqueueNDRange(itemKernel(), 4); err != nil {
+		t.Fatalf("unrestored enqueue: %v", err)
+	}
+}
+
+// TestFaultOrdinalsRequireArmedPlan pins the no-plan behaviour.
+func TestFaultOrdinalsRequireArmedPlan(t *testing.T) {
+	dev := testDevice()
+	if _, ok := dev.FaultOrdinals(); ok {
+		t.Error("FaultOrdinals without a plan must report ok=false")
+	}
+	if dev.RestoreFaultOrdinals(FaultOrdinals{Enqueues: 5}) {
+		t.Error("RestoreFaultOrdinals without a plan must report false")
+	}
+}
+
+// TestFaultOrdinalsDeadIsRestored keeps a lost device lost across a
+// resume.
+func TestFaultOrdinalsDeadIsRestored(t *testing.T) {
+	plan := &FaultPlan{FailEnqueues: map[int]Code{1: DeviceNotAvailable}}
+	dev1 := testDevice()
+	dev1.InstallFaults(plan)
+	q1 := NewQueue(dev1)
+	q1.SetExecMode(Serial)
+	if _, err := q1.EnqueueNDRange(itemKernel(), 4); !errors.Is(err, DeviceNotAvailable) {
+		t.Fatalf("enqueue 1 err = %v, want CL_DEVICE_NOT_AVAILABLE", err)
+	}
+	snap, _ := dev1.FaultOrdinals()
+	if !snap.Dead {
+		t.Fatal("snapshot of lost device must record Dead")
+	}
+
+	dev2 := testDevice()
+	dev2.InstallFaults(plan)
+	dev2.RestoreFaultOrdinals(snap)
+	q2 := NewQueue(dev2)
+	q2.SetExecMode(Serial)
+	if _, err := q2.EnqueueNDRange(itemKernel(), 4); !errors.Is(err, DeviceNotAvailable) {
+		t.Fatalf("restored enqueue err = %v, want device still lost", err)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/fastx"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+// sliceSource adapts an in-memory read set into a MapStream source.
+func sliceSource(reads [][]byte, batch int) func() (StreamBatch, error) {
+	i, idx := 0, 0
+	return func() (StreamBatch, error) {
+		b := StreamBatch{Index: idx, Start: i}
+		for len(b.Reads) < batch && i < len(reads) {
+			b.Names = append(b.Names, fmt.Sprintf("r%d", i))
+			b.Reads = append(b.Reads, reads[i])
+			i++
+		}
+		idx++
+		return b, nil
+	}
+}
+
+// TestMapStreamMatchesInMemory is the streaming-equivalence contract:
+// MapStream over batched reads produces the same mappings as one
+// in-memory Map over the whole set, and the same aggregate accounting,
+// trace and metrics as an in-memory run batched identically — serial and
+// parallel (CI runs this under -race).
+func TestMapStreamMatchesInMemory(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	ref, set := testWorld(t, 40_000, 60, simulate.ERR012100)
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 100}
+	const batch = 13
+
+	for _, mode := range []cl.ExecMode{cl.Serial, cl.Parallel} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Whole-set baseline: mappings are per-read, so batch size
+			// must not affect them.
+			pw, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, err := pw.Map(set.Reads, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Batched in-memory baseline: same batch boundaries as the
+			// stream, so launch-overhead accounting and traces line up.
+			recMem := trace.NewRecorder()
+			pm, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: mode, Tracer: recMem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var memMaps [][]mapper.Mapping
+			memAgg := &mapper.Result{DeviceSeconds: map[string]float64{}}
+			for start := 0; start < len(set.Reads); start += batch {
+				end := start + batch
+				if end > len(set.Reads) {
+					end = len(set.Reads)
+				}
+				res, err := pm.Map(set.Reads[start:end], opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				memMaps = append(memMaps, res.Mappings...)
+				memAgg.SimSeconds += res.SimSeconds
+				memAgg.EnergyJ += res.EnergyJ
+				for dev, sec := range res.DeviceSeconds {
+					memAgg.DeviceSeconds[dev] += sec
+				}
+				memAgg.Cost.Add(res.Cost)
+			}
+
+			recStream := trace.NewRecorder()
+			ps, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: mode, Tracer: recStream})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamMaps [][]mapper.Mapping
+			sr, err := ps.MapStream(sliceSource(set.Reads, batch), opt,
+				func(b StreamBatch, res *mapper.Result) error {
+					streamMaps = append(streamMaps, res.Mappings...)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if sr.Reads != len(set.Reads) {
+				t.Errorf("streamed %d reads, want %d", sr.Reads, len(set.Reads))
+			}
+			if want := (len(set.Reads) + batch - 1) / batch; sr.Batches != want {
+				t.Errorf("streamed %d batches, want %d", sr.Batches, want)
+			}
+			if !reflect.DeepEqual(streamMaps, whole.Mappings) {
+				t.Error("streamed mappings differ from whole-set in-memory Map")
+			}
+			if !reflect.DeepEqual(streamMaps, memMaps) {
+				t.Error("streamed mappings differ from batched in-memory Map")
+			}
+			if sr.SimSeconds != memAgg.SimSeconds || sr.EnergyJ != memAgg.EnergyJ {
+				t.Errorf("aggregate accounting differs: stream %v s / %v J, memory %v s / %v J",
+					sr.SimSeconds, sr.EnergyJ, memAgg.SimSeconds, memAgg.EnergyJ)
+			}
+			if sr.Cost != memAgg.Cost {
+				t.Errorf("cost differs:\nstream %+v\nmemory %+v", sr.Cost, memAgg.Cost)
+			}
+			if !reflect.DeepEqual(sr.DeviceSeconds, memAgg.DeviceSeconds) {
+				t.Errorf("device seconds differ:\nstream %v\nmemory %v",
+					sr.DeviceSeconds, memAgg.DeviceSeconds)
+			}
+			if sr.Mapped != whole.MappedReads() || sr.Locations != whole.TotalLocations() {
+				t.Errorf("tallies differ: stream %d/%d, whole %d/%d",
+					sr.Mapped, sr.Locations, whole.MappedReads(), whole.TotalLocations())
+			}
+
+			// Metrics snapshots must match byte-for-byte. The stream's
+			// extra "stream-batch" host instants are deliberately not
+			// derived into any metric, so the registries coincide.
+			var memJSON, streamJSON bytes.Buffer
+			if err := recMem.Metrics().WriteJSON(&memJSON); err != nil {
+				t.Fatal(err)
+			}
+			if err := recStream.Metrics().WriteJSON(&streamJSON); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(memJSON.Bytes(), streamJSON.Bytes()) {
+				t.Errorf("metrics snapshots differ:\nmemory %s\nstream %s",
+					memJSON.String(), streamJSON.String())
+			}
+		})
+	}
+}
+
+// TestMapStreamStop checks the graceful-stop contract: emit returning
+// Stop ends the run at a batch boundary with the partial aggregate and
+// the sentinel itself.
+func TestMapStreamStop(t *testing.T) {
+	ref, set := testWorld(t, 20_000, 30, simulate.ERR012100)
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 50}
+	batches := 0
+	sr, err := p.MapStream(sliceSource(set.Reads, 10), opt,
+		func(b StreamBatch, res *mapper.Result) error {
+			batches++
+			if batches == 2 {
+				return Stop
+			}
+			return nil
+		})
+	if err != Stop {
+		t.Fatalf("err = %v, want Stop", err)
+	}
+	if sr.Batches != 2 || sr.Reads != 20 {
+		t.Errorf("partial aggregate: %d batches / %d reads, want 2 / 20", sr.Batches, sr.Reads)
+	}
+}
+
+// TestMapStreamScanSourceLenient runs a dirty FASTQ through the full
+// scanner → codec → MapStream path and checks that skipped records (both
+// malformed and unmappably short) land in the stream result's FaultStats
+// and in the metrics registry.
+func TestMapStreamScanSourceLenient(t *testing.T) {
+	ref, set := testWorld(t, 20_000, 24, simulate.ERR012100)
+	var fq strings.Builder
+	for i, r := range set.Reads {
+		seq := make([]byte, len(r))
+		for j, c := range r {
+			seq[j] = "ACGT"[c]
+		}
+		fmt.Fprintf(&fq, "@r%d\n%s\n+\n%s\n", i, seq, strings.Repeat("I", len(seq)))
+		switch i {
+		case 5: // malformed: quality shorter than sequence
+			fmt.Fprintf(&fq, "@bad%d\nACGTACGT\n+\nIII\n", i)
+		case 11: // unmappably short read (length <= MaxErrors)
+			fmt.Fprintf(&fq, "@tiny%d\nACG\n+\nIII\n", i)
+		case 17: // junk line between records
+			fq.WriteString("not a record\n")
+		}
+	}
+
+	rec := trace.NewRecorder()
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 50}
+	sc := fastx.NewScanner(strings.NewReader(fq.String()),
+		fastx.ScanOptions{Format: fastx.FormatFASTQ, Lenient: true, Name: "dirty.fq", Tracer: rec})
+	src := NewScanSource(sc, fastx.NewCodec(0), 7, true, opt.MaxErrors, 0)
+
+	sr, err := p.MapStream(src, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Reads != len(set.Reads) {
+		t.Errorf("mapped %d reads, want %d", sr.Reads, len(set.Reads))
+	}
+	if sr.Faults.SkippedRecords != 3 {
+		t.Errorf("SkippedRecords = %d, want 3 (%v)", sr.Faults.SkippedRecords, sr.Faults.SkipReasons)
+	}
+	want := map[string]int{
+		fastx.ReasonLengthMismatch: 1,
+		fastx.ReasonShortRead:      1,
+		fastx.ReasonMissingHeader:  1,
+	}
+	if !reflect.DeepEqual(sr.Faults.SkipReasons, want) {
+		t.Errorf("SkipReasons = %v, want %v", sr.Faults.SkipReasons, want)
+	}
+	if !sr.Faults.Any() {
+		t.Error("FaultStats.Any() must report skipped records")
+	}
+	snap := rec.Metrics()
+	if got := snap.Counters["records_skipped_total"]; got != 3 {
+		t.Errorf("records_skipped_total = %d, want 3", got)
+	}
+	if got := snap.Counters["records_skipped_total/"+fastx.ReasonShortRead]; got != 1 {
+		t.Errorf("records_skipped_total/short-read = %d, want 1", got)
+	}
+}
+
+// TestMapStreamSourceError propagates a scanner parse failure (strict
+// mode) out of MapStream.
+func TestMapStreamSourceError(t *testing.T) {
+	ref, _ := testWorld(t, 10_000, 1, simulate.ERR012100)
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fastx.NewScanner(strings.NewReader("@r\nACGT\n+\nIII\n"),
+		fastx.ScanOptions{Format: fastx.FormatFASTQ})
+	src := NewScanSource(sc, fastx.NewCodec(0), 4, false, 1, 0)
+	_, err = p.MapStream(src, mapper.Options{MaxErrors: 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "length-mismatch") {
+		t.Errorf("want length-mismatch parse error, got %v", err)
+	}
+}

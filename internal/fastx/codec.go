@@ -1,0 +1,52 @@
+package fastx
+
+import (
+	"math/rand"
+
+	"repro/internal/dna"
+)
+
+// Codec converts records to base codes under the standard index-building
+// policy — ambiguous bases (N etc.) become deterministic pseudo-random
+// bases — while counting how many random draws it has made. The count is
+// what makes streaming ingest checkpointable: a resumed run fast-forwards
+// a fresh Codec by the recorded draw count, so the bases substituted
+// after the resume point are bit-identical to an uninterrupted run
+// (DESIGN.md §11).
+type Codec struct {
+	rng   *rand.Rand
+	draws uint64
+}
+
+// NewCodec returns a Codec seeded deterministically.
+func NewCodec(seed int64) *Codec {
+	return &Codec{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Codes converts a record's ASCII sequence to base codes, replacing each
+// ambiguous character with a pseudo-random base and counting the draw.
+func (c *Codec) Codes(rec Record) []byte {
+	out := make([]byte, len(rec.Seq))
+	for i, b := range rec.Seq {
+		code, ok := dna.CodeOf(b)
+		if !ok {
+			code = byte(c.rng.Intn(4))
+			c.draws++
+		}
+		out[i] = code
+	}
+	return out
+}
+
+// Draws returns the number of random draws made so far.
+func (c *Codec) Draws() uint64 { return c.draws }
+
+// FastForward advances the Codec's random stream by n draws without
+// producing codes — the resume path's replay of an interrupted run's
+// ambiguity substitutions.
+func (c *Codec) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.rng.Intn(4)
+	}
+	c.draws += n
+}

@@ -22,6 +22,22 @@ type Record struct {
 	Qual []byte // ASCII Phred+33, nil for FASTA
 }
 
+// appendSeq appends a FASTA sequence line to dst, dropping interior
+// blanks: a space or tab inside a sequence line is layout, not
+// sequence — kept, it would be miscoded as a base downstream and
+// could not survive a write/re-read round-trip across line wraps.
+func appendSeq(dst, line []byte) []byte {
+	if bytes.IndexByte(line, ' ') < 0 && bytes.IndexByte(line, '\t') < 0 {
+		return append(dst, line...)
+	}
+	for _, c := range line {
+		if c != ' ' && c != '\t' {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
 // ReadFasta parses all records from r.
 func ReadFasta(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
@@ -43,7 +59,13 @@ func ReadFasta(r io.Reader) ([]Record, error) {
 		if cur == nil {
 			return nil, fmt.Errorf("fastx: line %d: sequence before first header", line)
 		}
-		cur.Seq = append(cur.Seq, b...)
+		if bytes.IndexByte(b, '>') >= 0 {
+			// A '>' after the first column is a mangled header, and a
+			// sequence containing one could not round-trip: wrapping
+			// may put it at a line start, where it reads as a header.
+			return nil, fmt.Errorf("fastx: line %d: stray '>' inside sequence line", line)
+		}
+		cur.Seq = appendSeq(cur.Seq, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("fastx: %w", err)

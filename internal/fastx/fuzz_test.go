@@ -2,54 +2,169 @@ package fastx
 
 import (
 	"bytes"
+	"errors"
 	"testing"
-	"testing/quick"
 )
 
 // The parsers face arbitrary files; they must reject or accept but never
-// panic, and anything they accept must round-trip.
+// panic, anything they accept must round-trip, and the streaming Scanner
+// must agree with the batch parsers — two independent implementations
+// cross-validating each other, so a parsing bug has to strike both to go
+// unnoticed. (These targets replaced the original testing/quick checks;
+// `go test` runs the seed corpus, `go test -fuzz=FuzzScanner` explores.)
 
-func TestReadFastaNeverPanics(t *testing.T) {
-	f := func(raw []byte) bool {
+// seedCorpus feeds every target the interesting shapes: CRLF endings,
+// truncated quality lines, empty records, blank lines, missing newlines.
+func seedCorpus(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"\n\n",
+		">a\nACGT\n>b\nTT\n",
+		">a\r\nACGT\r\n",
+		">a\n>b\nACGT\n",       // empty record
+		">a\nACGT",             // no trailing newline
+		"ACGT\n>a\nAC\n",       // sequence before header
+		"@r1\nACGT\n+\nIIII\n", // well-formed FASTQ
+		"@r1\r\nACGT\r\n+\r\nIIII\r\n",
+		"@r1\nACGT\n+\nIII\n",     // truncated quality line
+		"@r1\nACGT\n+\n",          // missing quality
+		"@r1\nACGT\n",             // missing separator
+		"@r1\n",                   // header only
+		"@r1\nACGT\nIIII\nACGT\n", // separator is not '+'
+		"@\n\n+\n\n",              // empty name, empty record
+		"\n@r1\nAC\n\n+\nII\n",    // blank lines between fields
+		"@a\nAC\n+\nII\n@b\nACGT\n+\nII\n@c\nGG\n+\nII\n",
+	} {
+		f.Add([]byte(s))
+	}
+}
+
+func FuzzReadFasta(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
 		recs, err := ReadFasta(bytes.NewReader(raw))
 		if err != nil {
-			return true
+			return
 		}
 		// Accepted input must round-trip through the writer.
 		var buf bytes.Buffer
 		if err := WriteFasta(&buf, recs, 60); err != nil {
-			return false
+			t.Fatalf("write accepted records: %v", err)
 		}
 		again, err := ReadFasta(&buf)
-		if err != nil || len(again) != len(recs) {
-			return false
+		if err != nil {
+			t.Fatalf("reparse written records: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round-trip count %d != %d", len(again), len(recs))
 		}
 		for i := range recs {
 			if !bytes.Equal(again[i].Seq, recs[i].Seq) {
-				return false
+				t.Fatalf("record %d sequence changed in round-trip", i)
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Error(err)
-	}
+		// The strict scanner is an independent implementation; on inputs
+		// the batch parser accepts, it must produce identical records.
+		srecs, err := collect(NewScanner(bytes.NewReader(raw), ScanOptions{Format: FormatFASTA}))
+		if err != nil {
+			t.Fatalf("scanner rejected batch-accepted input: %v", err)
+		}
+		if !recordsEqual(srecs, recs) {
+			t.Fatalf("scanner records differ from ReadFasta:\nscanner %+v\nbatch   %+v", srecs, recs)
+		}
+	})
 }
 
-func TestReadFastqNeverPanics(t *testing.T) {
-	f := func(raw []byte) bool {
+func FuzzReadFastq(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
 		recs, err := ReadFastq(bytes.NewReader(raw))
 		if err != nil {
-			return true
+			return
 		}
 		for _, r := range recs {
 			if len(r.Qual) != len(r.Seq) {
-				return false // parser let a length mismatch through
+				t.Fatal("parser let a length mismatch through")
 			}
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Error(err)
-	}
+		srecs, err := collect(NewScanner(bytes.NewReader(raw), ScanOptions{Format: FormatFASTQ}))
+		if err != nil {
+			t.Fatalf("scanner rejected batch-accepted input: %v", err)
+		}
+		if !recordsEqual(srecs, recs) {
+			t.Fatalf("scanner records differ from ReadFastq:\nscanner %+v\nbatch   %+v", srecs, recs)
+		}
+	})
+}
+
+func FuzzScanner(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		for _, format := range []Format{FormatAuto, FormatFASTA, FormatFASTQ} {
+			// Strict mode: never panics; a terminal error on an in-memory
+			// reader must be a typed *ParseError.
+			strict, err := collect(NewScanner(bytes.NewReader(raw), ScanOptions{Format: format}))
+			if err != nil {
+				var pe *ParseError
+				if !errors.As(err, &pe) {
+					t.Fatalf("format %v: non-ParseError terminal error: %v", format, err)
+				}
+			}
+			for _, r := range strict {
+				if r.Qual != nil && len(r.Qual) != len(r.Seq) {
+					t.Fatalf("format %v: quality/sequence length mismatch accepted", format)
+				}
+			}
+
+			// Lenient mode: never fails — except for auto-detection on an
+			// unrecognizable first line, where there is no format to
+			// resync to — and keeps at least every record the strict scan
+			// produced before it stopped.
+			sc := NewScanner(bytes.NewReader(raw), ScanOptions{Format: format, Lenient: true})
+			lenient, err := collect(sc)
+			if err != nil {
+				var pe *ParseError
+				if format == FormatAuto && errors.As(err, &pe) && pe.Reason == ReasonUnknownFormat {
+					continue
+				}
+				t.Fatalf("format %v: lenient scan failed: %v", format, err)
+			}
+			if len(lenient) < len(strict) {
+				t.Fatalf("format %v: lenient kept %d records, strict parsed %d",
+					format, len(lenient), len(strict))
+			}
+			if !recordsEqual(lenient[:len(strict)], strict) {
+				t.Fatalf("format %v: lenient prefix differs from strict records", format)
+			}
+		}
+	})
+}
+
+// FuzzScannerResume stresses the checkpoint property on arbitrary
+// inputs: for a strict scan, stopping after the first record and
+// resuming at Offset() yields the same remaining records.
+func FuzzScannerResume(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		full, err := collect(NewScanner(bytes.NewReader(raw), ScanOptions{Format: FormatFASTQ}))
+		if err != nil || len(full) < 2 {
+			return
+		}
+		sc := NewScanner(bytes.NewReader(raw), ScanOptions{Format: FormatFASTQ})
+		if !sc.Scan() {
+			t.Fatal("scan failed on accepted input")
+		}
+		off := sc.Offset()
+		if off < 0 || off > int64(len(raw)) {
+			t.Fatalf("offset %d out of range [0, %d]", off, len(raw))
+		}
+		rest, err := collect(NewScanner(bytes.NewReader(raw[off:]),
+			ScanOptions{Format: FormatFASTQ, BaseOffset: off}))
+		if err != nil {
+			t.Fatalf("resume at %d failed: %v", off, err)
+		}
+		if !recordsEqual(rest, full[1:]) {
+			t.Fatalf("resume at %d: %d records, want %d", off, len(rest), len(full)-1)
+		}
+	})
 }

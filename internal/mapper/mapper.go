@@ -115,12 +115,18 @@ type FaultStats struct {
 	DeadlineReads int
 	// FailedDevices lists devices lost permanently, in device order.
 	FailedDevices []string
+	// SkippedRecords counts input records a lenient-mode ingest dropped
+	// (malformed or unmappably short) instead of aborting the run; the
+	// host-side analogue of the device-fault counters above.
+	SkippedRecords int
+	// SkipReasons breaks SkippedRecords down by fastx skip reason.
+	SkipReasons map[string]int
 }
 
 // Any reports whether any recovery action was taken.
 func (f FaultStats) Any() bool {
 	return f.Retries != 0 || f.DegradedBatches != 0 || f.FailoverReads != 0 ||
-		f.DeadlineReads != 0 || len(f.FailedDevices) != 0
+		f.DeadlineReads != 0 || len(f.FailedDevices) != 0 || f.SkippedRecords != 0
 }
 
 // Add accumulates o into f (used when a run spans several Map calls,
@@ -132,6 +138,15 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.FailoverReads += o.FailoverReads
 	f.DeadlineReads += o.DeadlineReads
 	f.FailedDevices = append(f.FailedDevices, o.FailedDevices...)
+	f.SkippedRecords += o.SkippedRecords
+	if len(o.SkipReasons) > 0 {
+		if f.SkipReasons == nil {
+			f.SkipReasons = make(map[string]int, len(o.SkipReasons))
+		}
+		for r, n := range o.SkipReasons {
+			f.SkipReasons[r] += n
+		}
+	}
 }
 
 // MappedReads counts reads with at least one reported location.

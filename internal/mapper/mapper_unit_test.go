@@ -138,3 +138,27 @@ func TestResultCounters(t *testing.T) {
 		t.Errorf("TotalLocations = %d want 3", r.TotalLocations())
 	}
 }
+
+func TestFaultStatsSkippedRecords(t *testing.T) {
+	var f FaultStats
+	if f.Any() {
+		t.Error("zero FaultStats must report Any() == false")
+	}
+	f.Add(FaultStats{SkippedRecords: 2, SkipReasons: map[string]int{"length-mismatch": 2}})
+	f.Add(FaultStats{SkippedRecords: 2, SkipReasons: map[string]int{"length-mismatch": 1, "short-read": 1}})
+	if !f.Any() {
+		t.Error("skipped records must count as a fault for Any()")
+	}
+	if f.SkippedRecords != 4 {
+		t.Errorf("SkippedRecords = %d, want 4", f.SkippedRecords)
+	}
+	if f.SkipReasons["length-mismatch"] != 3 || f.SkipReasons["short-read"] != 1 {
+		t.Errorf("SkipReasons = %v", f.SkipReasons)
+	}
+	// Adding an empty stats value must not allocate a reasons map.
+	var g FaultStats
+	g.Add(FaultStats{})
+	if g.SkipReasons != nil {
+		t.Error("Add of empty stats allocated a SkipReasons map")
+	}
+}

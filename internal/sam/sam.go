@@ -70,6 +70,15 @@ func NewMultiWriter(w io.Writer, refs []RefSeq) (*Writer, error) {
 	return sw, nil
 }
 
+// NewAppendWriter returns a Writer that emits alignment records without
+// a header — for appending to a SAM file whose header (and a prefix of
+// records) an earlier, interrupted run already wrote. defaultRef becomes
+// the default RNAME for WriteRead, matching the original writer's first
+// contig.
+func NewAppendWriter(w io.Writer, defaultRef string) *Writer {
+	return &Writer{bw: bufio.NewWriter(w), refName: defaultRef}
+}
+
 // Alignment is one fully-specified output line for WriteAlignments.
 type Alignment struct {
 	RName  string

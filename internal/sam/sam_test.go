@@ -2,6 +2,7 @@ package sam
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -188,5 +189,57 @@ func TestPositionsAreOneBasedOnDisk(t *testing.T) {
 	w.Flush()
 	if !strings.Contains(buf.String(), "\tc\t1\t") {
 		t.Errorf("position 0 not written as 1:\n%s", buf.String())
+	}
+}
+
+// TestAppendWriterContinuesFile is the streaming-resume contract: a file
+// written as header + prefix records, then reopened and continued with
+// NewAppendWriter, is byte-identical to writing everything in one pass.
+func TestAppendWriterContinuesFile(t *testing.T) {
+	alns := []Alignment{
+		{RName: "chr1", Pos: 10, Strand: '+', Dist: 1, MAPQ: 40},
+		{RName: "chr1", Pos: 99, Strand: '-', Dist: 0},
+	}
+
+	var whole bytes.Buffer
+	w, err := NewWriter(&whole, "chr1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.WriteAlignments(fmt.Sprintf("r%d", i), []byte("ACGT"), alns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var split bytes.Buffer
+	w1, err := NewWriter(&split, "chr1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w1.WriteAlignments(fmt.Sprintf("r%d", i), []byte("ACGT"), alns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewAppendWriter(&split, "chr1")
+	for i := 2; i < 4; i++ {
+		if err := w2.WriteAlignments(fmt.Sprintf("r%d", i), []byte("ACGT"), alns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(whole.Bytes(), split.Bytes()) {
+		t.Errorf("append-continued file differs from single-pass file:\nwhole:\n%s\nsplit:\n%s",
+			whole.String(), split.String())
 	}
 }

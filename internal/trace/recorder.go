@@ -199,6 +199,8 @@ func (r *Recorder) Validate() error {
 //	retries_total                counter: retry instants
 //	batch_halvings_total         counter: batch-halved instants
 //	failovers_total              counter: failover + deadline-migrate instants
+//	records_skipped_total        counter: record-skipped instants (lenient ingest)
+//	records_skipped_total/<reason>  counter: same, broken down by reason attr
 //	enqueue_seconds              histogram: enqueue:* span durations
 //	item_ops                     histogram: per-item op counts (if observed)
 func (r *Recorder) Metrics() Snapshot {
@@ -240,6 +242,15 @@ func (r *Recorder) Metrics() Snapshot {
 				reg.Counter("batch_halvings_total").Add(1)
 			case "failover", "deadline-migrate":
 				reg.Counter("failovers_total").Add(1)
+			case "record-skipped":
+				reg.Counter("records_skipped_total").Add(1)
+				for _, a := range ev.Attrs {
+					if a.Key == "reason" {
+						if reason, ok := a.Value().(string); ok {
+							reg.Counter("records_skipped_total/" + reason).Add(1)
+						}
+					}
+				}
 			}
 			if isFault(ev.Name) {
 				reg.Counter("faults_total").Add(1)
