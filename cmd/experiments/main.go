@@ -6,12 +6,14 @@
 //	experiments [-scale tiny|small|medium|full] [-seed N] [-run LIST] [-out FILE]
 //
 // -run selects experiments (comma separated: table1, table2, table3,
-// table4, fig3, fig4, or "all"). Three extra studies run only when named
+// table4, fig3, fig4, or "all"). Four extra studies run only when named
 // explicitly: "ablations" (design-choice quantification), "faults" (the
-// fault-injection recovery sweep) and "trace" (an instrumented System 1
+// fault-injection recovery sweep), "trace" (an instrumented System 1
 // run whose Chrome trace -trace-out writes for chrome://tracing or
-// Perfetto). -out writes the full markdown report (EXPERIMENTS.md form)
-// in addition to the console tables.
+// Perfetto) and "index" (the artifact load-vs-rebuild measurement;
+// -index-out writes its JSON, see BENCH_index.json). -out writes the
+// full markdown report (EXPERIMENTS.md form) in addition to the console
+// tables.
 package main
 
 import (
@@ -30,15 +32,16 @@ func main() {
 	outFlag := flag.String("out", "", "also write a full markdown report to this file")
 	jsonFlag := flag.String("json", "", "also write the full report as JSON to this file (requires -run all)")
 	traceOutFlag := flag.String("trace-out", "trace.json", "Chrome trace output path for -run trace")
+	indexOutFlag := flag.String("index-out", "", "JSON output path for -run index (e.g. BENCH_index.json)")
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag); err != nil {
+	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag, *indexOutFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut string) error {
+func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, indexOut string) error {
 	sc, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -170,6 +173,28 @@ func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut stri
 			return err
 		}
 		s.Render(os.Stdout)
+		ran = true
+	}
+	if sel("index") {
+		b, err := bench.RunIndexBench(ds)
+		if err != nil {
+			return err
+		}
+		b.Render(os.Stdout)
+		if indexOut != "" {
+			f, err := os.Create(indexOut)
+			if err != nil {
+				return err
+			}
+			if err := b.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote index benchmark JSON to %s\n", indexOut)
+		}
 		ran = true
 	}
 	if sel("trace") {

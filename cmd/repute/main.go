@@ -1,15 +1,26 @@
-// Command repute is the REPUTE mapper CLI: build an FM-index from a
-// reference and map FASTQ reads on the simulated heterogeneous platforms,
-// emitting SAM.
+// Command repute is the REPUTE mapper CLI: build a persistent FM-index
+// artifact from a reference and map FASTQ reads on the simulated
+// heterogeneous platforms, emitting SAM.
 //
 // Usage:
 //
-//	repute index -ref ref.fa -out ref.rix [-sa-rate 0]
-//	repute map -index ref.rix -reads reads.fq [-e 5] [-smin 0]
+//	repute index build -ref ref.fa -out ref.ridx [-sa-rate 0]
+//	                   [-shards K -overlap N]
+//	repute index info  -index ref.ridx
+//	repute map {-index ref.ridx | -ref ref.fa} -reads reads.fq [-e 5] [-smin 0]
 //	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
 //	           [-max-locations 100] [-selector dp|coral] [-out out.sam]
 //	           [-trace trace.json]
 //	           [-batch 4096 [-lenient] [-checkpoint run.ckpt [-resume]]]
+//
+// `index build` writes a versioned container (magic, format version,
+// SHA-256 section checksums, shard table) wrapping one FM-index per
+// shard; `map -index` verifies and loads it instead of rebuilding the
+// suffix array every run, and `map -ref` keeps the rebuild-every-run
+// path for comparison. A -shards K artifact partitions the reference
+// into K overlapping slices and `map` dispatches one slice per device,
+// broadcasting every read batch to all shards and merging candidates in
+// global coordinates.
 //
 // With -batch N the reads stream through the mapper in batches of N
 // (bounded memory); -checkpoint makes the run crash-safe and -resume
@@ -18,7 +29,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -28,12 +38,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cl"
 	"repro/internal/core"
 	"repro/internal/dna"
 	"repro/internal/fastx"
 	"repro/internal/fmindex"
 	"repro/internal/genome"
+	"repro/internal/index"
 	"repro/internal/mapper"
 	"repro/internal/sam"
 	"repro/internal/seed"
@@ -67,45 +79,108 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `repute — OpenCL-style read mapper for heterogeneous systems (simulated devices)
 
 subcommands:
-  index  -ref ref.fa -out ref.rix [-sa-rate N]
-  map    -index ref.rix -reads reads.fq [flags]`)
+  index build  -ref ref.fa -out ref.ridx [-sa-rate N] [-shards K -overlap N]
+  index info   -index ref.ridx
+  map          {-index ref.ridx | -ref ref.fa} -reads reads.fq [flags]`)
 }
 
 func runIndex(args []string) error {
-	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	// Nested subcommands `build` and `info`; the original flag form
+	// (`repute index -ref ... -out ...`) predates them and stays as an
+	// alias for `build`.
+	if len(args) > 0 {
+		switch args[0] {
+		case "build":
+			return runIndexBuild(args[1:])
+		case "info":
+			return runIndexInfo(args[1:])
+		}
+	}
+	return runIndexBuild(args)
+}
+
+func runIndexBuild(args []string) error {
+	fs := flag.NewFlagSet("index build", flag.ExitOnError)
 	refPath := fs.String("ref", "", "reference FASTA (required)")
-	outPath := fs.String("out", "", "output index path (required)")
+	outPath := fs.String("out", "", "output index artifact path (required)")
 	saRate := fs.Int("sa-rate", 0, "suffix-array sample rate (0 = full SA; >0 trades locate speed for memory)")
+	shards := fs.Int("shards", 1, "partition the reference into this many overlapping shards (shard dispatch holds one slice per device)")
+	overlap := fs.Int("overlap", 0,
+		fmt.Sprintf("shard slice overlap in bases (0 = default %d; map rejects overlaps < read length + 2δ)", index.DefaultOverlap))
 	fs.Parse(args)
 	if *refPath == "" || *outPath == "" {
-		return fmt.Errorf("index: -ref and -out are required")
+		return fmt.Errorf("index build: -ref and -out are required")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("index build: -shards must be ≥ 1")
 	}
 	g, err := loadReference(*refPath)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	ix := fmindex.Build(g.Text(), fmindex.Options{SASampleRate: *saRate})
-	f, err := os.Create(*outPath)
+	f, err := index.Build(g, *shards, *overlap, fmindex.Options{SASampleRate: *saRate})
 	if err != nil {
 		return err
 	}
-	// Index file layout: contig table (text) followed by the FM-index
-	// blob, so `map` can report per-contig coordinates.
-	if _, err := g.WriteTo(f); err != nil {
-		f.Close()
+	if err := index.Save(*outPath, f); err != nil {
 		return err
 	}
-	if _, err := ix.WriteTo(f); err != nil {
-		f.Close()
+	st, err := os.Stat(*outPath)
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	d := f.Digest()
+	fmt.Printf("indexed %d contig(s), %d bp into %d shard(s) in %s (%d B on disk, locate=%s, digest %x)\n",
+		len(g.Contigs()), g.Len(), len(f.Indexes), time.Since(start).Round(time.Millisecond),
+		st.Size(), locateMode(*saRate), d[:8])
+	return nil
+}
+
+func runIndexInfo(args []string) error {
+	fs := flag.NewFlagSet("index info", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index artifact (or pass the path as the sole positional argument)")
+	fs.Parse(args)
+	path := *indexPath
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return fmt.Errorf("index info: -index is required")
+	}
+	info, err := index.ReadInfoFile(path)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("indexed %d contig(s), %d bp in %s (%d B in memory, locate=%s)\n",
-		len(g.Contigs()), ix.Len(), time.Since(start).Round(time.Millisecond),
-		ix.SizeBytes(), locateMode(*saRate))
+	m := &info.Meta
+	fmt.Printf("%s: index container v%d, %d B in %d section(s)\n",
+		path, index.Version, info.TotalBytes, len(info.Sections))
+	fmt.Printf("  reference: %d bp, %d contig(s)\n", m.RefBases, len(m.Contigs))
+	for i, c := range m.Contigs {
+		if i == 8 {
+			fmt.Printf("    … %d more contig(s)\n", len(m.Contigs)-i)
+			break
+		}
+		fmt.Printf("    %s: %d bp at offset %d\n", c.Name, c.Length, c.Offset)
+	}
+	fmt.Printf("  locate:    %s\n", locateMode(m.SASampleRate))
+	if m.Sharded() {
+		fmt.Printf("  shards:    %d, overlap %d bases\n", len(m.Shards), m.Overlap)
+		for i, s := range m.Shards {
+			fmt.Printf("    shard %d: owns [%d,%d) over slice [%d,%d)\n",
+				i, s.OwnStart, s.OwnEnd, s.SliceStart, s.SliceEnd)
+		}
+	} else {
+		fmt.Printf("  shards:    1 (whole reference)\n")
+	}
+	for i, s := range info.Sections {
+		kind := "fm-index shard"
+		if i == 0 {
+			kind = "meta"
+		}
+		fmt.Printf("  section %d: %s, %d B, sha256 %x…\n", i, kind, s.Length, s.SHA256[:8])
+	}
+	fmt.Printf("  digest:    %x\n", info.Digest)
 	return nil
 }
 
@@ -170,7 +245,9 @@ func parseSplit(s string, n int) ([]float64, error) {
 
 func runMap(args []string) error {
 	fs := flag.NewFlagSet("map", flag.ExitOnError)
-	indexPath := fs.String("index", "", "index built by `repute index` (required)")
+	indexPath := fs.String("index", "", "index artifact built by `repute index build`")
+	refPath := fs.String("ref", "", "reference FASTA: rebuild the index in memory instead of loading -index")
+	saRate := fs.Int("sa-rate", 0, "suffix-array sample rate for the -ref rebuild path")
 	readsPath := fs.String("reads", "", "FASTQ reads (required; mate 1 when -reads2 is given)")
 	reads2Path := fs.String("reads2", "", "FASTQ mate-2 reads: enables paired-end mode")
 	minInsert := fs.Int("min-insert", 100, "paired mode: minimum fragment length")
@@ -189,8 +266,11 @@ func runMap(args []string) error {
 	resumeFlag := fs.Bool("resume", false, "continue an interrupted run from -checkpoint")
 	lenientFlag := fs.Bool("lenient", false, "streaming mode: skip malformed/unmappable records instead of aborting")
 	fs.Parse(args)
-	if *indexPath == "" || *readsPath == "" {
-		return fmt.Errorf("map: -index and -reads are required")
+	if (*indexPath == "") == (*refPath == "") {
+		return fmt.Errorf("map: exactly one of -index and -ref is required")
+	}
+	if *readsPath == "" {
+		return fmt.Errorf("map: -reads is required")
 	}
 	streaming := *batchFlag > 0
 	if *ckptFlag != "" && !streaming {
@@ -207,26 +287,6 @@ func runMap(args []string) error {
 	}
 	if streaming && *outPath == "" {
 		return fmt.Errorf("map: -batch requires -out (streamed SAM cannot go to stdout)")
-	}
-
-	ixf, err := os.Open(*indexPath)
-	if err != nil {
-		return err
-	}
-	br := bufio.NewReader(ixf)
-	contigs, err := genome.ReadContigs(br)
-	if err != nil {
-		ixf.Close()
-		return fmt.Errorf("%s: %w (rebuild with `repute index`)", *indexPath, err)
-	}
-	ix, err := fmindex.ReadFrom(br)
-	ixf.Close()
-	if err != nil {
-		return err
-	}
-	g, err := genome.FromParts(contigs, ix.Text().Unpack())
-	if err != nil {
-		return err
 	}
 
 	devices, err := platformDevices(*platform)
@@ -255,9 +315,59 @@ func runMap(args []string) error {
 		rec = trace.NewRecorder()
 		cfg.Tracer = rec
 	}
-	p, err := core.NewFromIndex(ix, devices, cfg)
-	if err != nil {
-		return err
+
+	// Reference index: either a verified on-disk artifact (-index) or an
+	// in-memory rebuild from FASTA (-ref). The artifact path additionally
+	// yields the container digest, the O(1) checkpoint fingerprint.
+	var (
+		p          *core.Pipeline
+		g          *genome.Genome
+		ix         *fmindex.Index // set only on the -ref rebuild path
+		fpDigest   [32]byte
+		haveDigest bool
+	)
+	if *indexPath != "" {
+		f, err := index.LoadFile(*indexPath)
+		if err != nil {
+			return fmt.Errorf("%w (rebuild with `repute index build`)", err)
+		}
+		// Coordinate-only genome: SAM emission needs contig boundaries, not
+		// the reference text (that lives in the shard indexes).
+		g, err = genome.FromContigs(f.Meta.Contigs)
+		if err != nil {
+			return err
+		}
+		if f.Meta.Sharded() {
+			if split != nil {
+				return fmt.Errorf("map: -split does not apply to a sharded index (shard dispatch assigns one reference slice per device)")
+			}
+			shards := make([]core.Shard, len(f.Indexes))
+			for i, s := range f.Meta.Shards {
+				shards[i] = core.Shard{
+					Index:      f.Indexes[i],
+					OwnStart:   s.OwnStart,
+					OwnEnd:     s.OwnEnd,
+					SliceStart: s.SliceStart,
+					SliceEnd:   s.SliceEnd,
+				}
+			}
+			p, err = core.NewSharded(shards, f.Meta.Overlap, devices, cfg)
+		} else {
+			p, err = core.NewFromIndex(f.Indexes[0], devices, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		fpDigest, haveDigest = f.Digest(), true
+	} else {
+		g, err = loadReference(*refPath)
+		if err != nil {
+			return err
+		}
+		ix = fmindex.Build(g.Text(), fmindex.Options{SASampleRate: *saRate})
+		if p, err = core.NewFromIndex(ix, devices, cfg); err != nil {
+			return err
+		}
 	}
 	opt := mapper.Options{
 		MaxErrors:    *errorsFlag,
@@ -266,19 +376,31 @@ func runMap(args []string) error {
 	}
 
 	if streaming {
-		if err := runMapStream(p, g, ix, streamConfig{
-			readsPath: *readsPath,
-			outPath:   *outPath,
-			ckptPath:  *ckptFlag,
-			resume:    *resumeFlag,
-			lenient:   *lenientFlag,
-			batch:     *batchFlag,
-			cigar:     *cigarFlag,
-			opt:       opt,
-			extra: []string{"selector=" + *selector, "platform=" + *platform,
-				"split=" + *splitFlag},
-			devices: devices,
-			tracer:  cfg.Tracer,
+		extras := []string{
+			fmt.Sprintf("batch=%d", *batchFlag), fmt.Sprintf("lenient=%t", *lenientFlag),
+			fmt.Sprintf("cigar=%t", *cigarFlag), "selector=" + *selector,
+			"platform=" + *platform, "split=" + *splitFlag,
+		}
+		var fingerprint string
+		if haveDigest {
+			fingerprint = checkpoint.FingerprintDigest(fpDigest, opt, extras...)
+		} else {
+			if fingerprint, err = checkpoint.Fingerprint(ix, opt, extras...); err != nil {
+				return err
+			}
+		}
+		if err := runMapStream(p, g, streamConfig{
+			readsPath:   *readsPath,
+			outPath:     *outPath,
+			ckptPath:    *ckptFlag,
+			resume:      *resumeFlag,
+			lenient:     *lenientFlag,
+			batch:       *batchFlag,
+			cigar:       *cigarFlag,
+			opt:         opt,
+			fingerprint: fingerprint,
+			devices:     devices,
+			tracer:      cfg.Tracer,
 		}); err != nil {
 			return err
 		}

@@ -24,7 +24,6 @@ import (
 	"repro/internal/cl"
 	"repro/internal/core"
 	"repro/internal/fastx"
-	"repro/internal/fmindex"
 	"repro/internal/genome"
 	"repro/internal/mapper"
 	"repro/internal/sam"
@@ -41,33 +40,30 @@ type streamConfig struct {
 	batch     int
 	cigar     bool
 	opt       mapper.Options
-	extra     []string // extra fingerprint inputs (selector, platform, ...)
-	devices   []*cl.Device
-	tracer    trace.Tracer
+	// fingerprint binds checkpoints to the index + options combination;
+	// runMap computes it from the artifact digest (O(1)) or by hashing
+	// the in-memory index on the -ref rebuild path.
+	fingerprint string
+	devices     []*cl.Device
+	tracer      trace.Tracer
 }
 
 // runMapStream is the streaming/checkpointed counterpart of runMap's
 // in-memory mapping loop.
-func runMapStream(p *core.Pipeline, g *genome.Genome, ix *fmindex.Index, cfg streamConfig) error {
-	fingerprint, err := checkpoint.Fingerprint(ix, cfg.opt,
-		append([]string{fmt.Sprintf("batch=%d", cfg.batch), fmt.Sprintf("lenient=%t", cfg.lenient),
-			fmt.Sprintf("cigar=%t", cfg.cigar)}, cfg.extra...)...)
-	if err != nil {
-		return err
-	}
-
+func runMapStream(p *core.Pipeline, g *genome.Genome, cfg streamConfig) error {
 	st := &checkpoint.State{
 		Version:       checkpoint.Version,
-		Fingerprint:   fingerprint,
+		Fingerprint:   cfg.fingerprint,
 		BatchSize:     cfg.batch,
 		DeviceSeconds: map[string]float64{},
 	}
+	var err error
 	if cfg.resume {
 		loaded, err := checkpoint.Load(cfg.ckptPath)
 		if err != nil {
 			return err
 		}
-		if err := loaded.Verify(fingerprint); err != nil {
+		if err := loaded.Verify(cfg.fingerprint); err != nil {
 			return err
 		}
 		if loaded.BatchSize != cfg.batch {

@@ -112,6 +112,26 @@ func Fingerprint(ix *fmindex.Index, opt mapper.Options, extra ...string) (string
 	return hex.EncodeToString(h.Sum(nil)[:16]), nil
 }
 
+// FingerprintDigest is Fingerprint for runs mapping against a persistent
+// index artifact: instead of re-serializing the in-memory index (linear
+// in the reference on every resume), it hashes the artifact's container
+// digest — already computed from the section checksums during load — with
+// the same option and extra-parameter encoding. The artifact digest
+// pins the exact index bytes, so the resume-safety guarantee is
+// unchanged; only the fingerprint cost drops to O(1).
+func FingerprintDigest(digest [32]byte, opt mapper.Options, extra ...string) string {
+	h := sha256.New()
+	h.Write(digest[:])
+	o := opt.WithDefaults()
+	fmt.Fprintf(h, "|e=%d|loc=%d|best=%t|smin=%d|freq=%d|retries=%d|backoff=%g",
+		o.MaxErrors, o.MaxLocations, o.Best, o.MinSeedLen, o.MaxSeedFreq,
+		o.Retries, o.RetryBackoffSimSec)
+	for _, e := range extra {
+		fmt.Fprintf(h, "|%s", e)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
 // Save writes the checkpoint atomically: marshal, write to a temp file
 // in the same directory, fsync, rename over path. Equal states produce
 // byte-identical files.

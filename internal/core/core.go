@@ -67,10 +67,34 @@ type Config struct {
 	Tracer trace.Tracer
 }
 
+// Shard binds one reference slice's FM-index to its global placement:
+// the index covers text[SliceStart:SliceEnd] and *owns* (reports
+// mappings for) positions in [OwnStart, OwnEnd). Neighbouring slices
+// overlap so reads straddling an ownership boundary are still fully
+// contained in some shard's slice.
+type Shard struct {
+	Index                *fmindex.Index
+	OwnStart, OwnEnd     int64
+	SliceStart, SliceEnd int64
+}
+
 // Pipeline is a REPUTE-style mapper bound to a reference and devices.
+// It dispatches in one of two geometries:
+//
+//   - read-split (ix != nil): every device holds the whole index and the
+//     read set is split across devices by the configured shares;
+//   - shard (shards != nil): the reference is partitioned, each device
+//     holds its own shards' FM-index buffers, every read is broadcast to
+//     every shard, and per-shard candidates merge in global coordinates.
+//
+// Both geometries ride the same fault-tolerant round engine: work is
+// tracked as (shard, read-span) units, and a failed device's units —
+// including its reference shards — re-dispatch to the survivors.
 type Pipeline struct {
 	name      string
-	ix        *fmindex.Index
+	ix        *fmindex.Index // read-split geometry (nil when sharded)
+	shards    []Shard        // shard geometry (nil when read-split)
+	overlap   int            // shard slice overlap in bases
 	devices   []*cl.Device
 	split     []float64
 	selector  seed.Selector
@@ -99,6 +123,54 @@ func New(ref []byte, devices []*cl.Device, cfg Config) (*Pipeline, error) {
 
 // NewFromIndex wraps an existing index (e.g. loaded from disk).
 func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipeline, error) {
+	p, err := newPipeline(devices, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.ix = ix
+	return p, nil
+}
+
+// NewSharded builds a shard-dispatch pipeline: each shard's FM-index
+// covers one overlapping reference slice (normally loaded from a sharded
+// index artifact), reads broadcast to every shard, and mappings merge in
+// global coordinates. overlap is the slice overlap the shards were built
+// with; Map validates it against the read length so boundary-straddling
+// alignments cannot be silently lost. Config.Split does not apply —
+// shard dispatch assigns whole shards to devices round-robin.
+func NewSharded(shards []Shard, overlap int, devices []*cl.Device, cfg Config) (*Pipeline, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: no shards")
+	}
+	if cfg.Split != nil {
+		return nil, fmt.Errorf("core: read-split shares do not apply to shard dispatch")
+	}
+	prev := int64(0)
+	for i, s := range shards {
+		if s.Index == nil {
+			return nil, fmt.Errorf("core: shard %d has no index", i)
+		}
+		if s.OwnStart != prev || s.OwnEnd < s.OwnStart ||
+			s.SliceStart > s.OwnStart || s.SliceEnd < s.OwnEnd {
+			return nil, fmt.Errorf("core: shard %d has inconsistent geometry", i)
+		}
+		if int64(s.Index.Len()) != s.SliceEnd-s.SliceStart {
+			return nil, fmt.Errorf("core: shard %d index covers %d bases, slice is %d",
+				i, s.Index.Len(), s.SliceEnd-s.SliceStart)
+		}
+		prev = s.OwnEnd
+	}
+	p, err := newPipeline(devices, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.shards = shards
+	p.overlap = overlap
+	return p, nil
+}
+
+// newPipeline applies the geometry-independent configuration.
+func newPipeline(devices []*cl.Device, cfg Config) (*Pipeline, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("core: no devices")
 	}
@@ -119,7 +191,7 @@ func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipelin
 		return nil, fmt.Errorf("core: deadlines has %d entries for %d devices",
 			len(cfg.Deadlines), len(devices))
 	}
-	p := &Pipeline{name: name, ix: ix, devices: devices, split: split,
+	p := &Pipeline{name: name, devices: devices, split: split,
 		selector: sel, exec: cfg.Exec, deadlines: cfg.Deadlines}
 	if !trace.IsNoop(cfg.Tracer) {
 		p.tracer = cfg.Tracer
@@ -130,23 +202,51 @@ func NewFromIndex(ix *fmindex.Index, devices []*cl.Device, cfg Config) (*Pipelin
 	return p, nil
 }
 
+// Sharded reports whether the pipeline uses shard dispatch.
+func (p *Pipeline) Sharded() bool { return p.shards != nil }
+
 // Name implements mapper.Mapper.
 func (p *Pipeline) Name() string { return p.name }
 
-// Index exposes the pipeline's FM-index (examples inspect it).
+// Index exposes the pipeline's FM-index (examples inspect it). It is nil
+// for shard-dispatch pipelines, which hold per-shard indexes instead.
 func (p *Pipeline) Index() *fmindex.Index { return p.ix }
+
+// shardOwning returns the shard whose ownership range contains the
+// global position, or nil.
+func (p *Pipeline) shardOwning(pos int64) *Shard {
+	for i := range p.shards {
+		if s := &p.shards[i]; pos >= s.OwnStart && pos < s.OwnEnd {
+			return s
+		}
+	}
+	return nil
+}
 
 // CigarFor recovers the CIGAR string of a reported mapping by re-aligning
 // the read against the mapped reference window — the SAM-output feature
 // the paper's §IV defers to future versions. Cost is paid only for
-// mappings actually written out.
+// mappings actually written out. In shard dispatch the window comes from
+// the owning shard's slice; mappings sit at least one read length from
+// the slice edge (the overlap Map validates), so the window never clips.
 func (p *Pipeline) CigarFor(read []byte, m mapper.Mapping, maxErrors int) (align.Cigar, error) {
 	pattern := read
 	if m.Strand == mapper.Reverse {
 		pattern = dna.ReverseComplement(read)
 	}
-	text := p.ix.Text()
-	lo := int(m.Pos)
+	var text dna.PackedSeq
+	base := 0
+	if p.Sharded() {
+		sh := p.shardOwning(int64(m.Pos))
+		if sh == nil {
+			return nil, fmt.Errorf("core: mapping position %d owned by no shard", m.Pos)
+		}
+		text = sh.Index.Text()
+		base = int(sh.SliceStart)
+	} else {
+		text = p.ix.Text()
+	}
+	lo := int(m.Pos) - base
 	hi := lo + len(pattern) + maxErrors
 	if lo < 0 || lo >= text.Len() {
 		return nil, fmt.Errorf("core: mapping position %d out of range", m.Pos)
@@ -244,12 +344,33 @@ func spanReads(spans []pending) int {
 	return n
 }
 
-// outcome is one device's report at a round barrier: which spans it did
+// unit is the engine's work quantum: a span of reads to map against one
+// shard's index (shard == -1 means the whole read-split index). In
+// read-split dispatch every unit has shard -1 and spans partition the
+// read set; in shard dispatch each shard broadcasts the full read range,
+// so the same read index appears in one unit per shard. Failover moves
+// units, which is what re-homes a lost device's reference slice onto
+// the survivors.
+type unit struct {
+	shard int
+	span  pending
+}
+
+// unitReads counts the read-dispatches covered by units.
+func unitReads(units []unit) int {
+	n := 0
+	for _, u := range units {
+		n += u.span.end - u.span.start
+	}
+	return n
+}
+
+// outcome is one device's report at a round barrier: which units it did
 // not finish, why it stopped, and the recovery work it performed.
 type outcome struct {
-	unmapped []pending
-	failed   bool // permanent device failure — fail the spans over
-	deadline bool // simulated-seconds budget exceeded — migrate the spans
+	unmapped []unit
+	failed   bool // permanent device failure — fail the units over
+	deadline bool // simulated-seconds budget exceeded — migrate the units
 	err      error
 	stats    mapper.FaultStats
 }
@@ -276,6 +397,9 @@ type outcome struct {
 func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, error) {
 	opt = opt.WithDefaults()
 	if err := mapper.ValidateReads(reads, opt); err != nil {
+		return nil, err
+	}
+	if err := p.validateOverlap(reads, opt); err != nil {
 		return nil, err
 	}
 	// Chaos hook: REPUTE_CL_FAULTS arms its plan on every device that has
@@ -327,13 +451,35 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 		}()
 	}
 
-	// Initial assignment: the configured split, as contiguous spans.
-	assign := make([][]pending, len(p.devices))
-	offset := 0
-	for di, n := range p.shares(len(reads)) {
-		if n > 0 {
-			assign[di] = []pending{{offset, offset + n}}
-			offset += n
+	// Output destinations: read-split units write straight into
+	// res.Mappings; shard units write per-shard partials that merge in
+	// global coordinates once every round has completed.
+	outFor := func(shard int) [][]mapper.Mapping { return res.Mappings }
+	var partials [][][]mapper.Mapping
+	if p.Sharded() {
+		partials = make([][][]mapper.Mapping, len(p.shards))
+		for s := range partials {
+			partials[s] = make([][]mapper.Mapping, len(reads))
+		}
+		outFor = func(shard int) [][]mapper.Mapping { return partials[shard] }
+	}
+
+	// Initial assignment. Read-split: the configured split, as contiguous
+	// spans of the whole-index unit. Shard: every read goes to every
+	// shard, shards deal round-robin onto devices.
+	assign := make([][]unit, len(p.devices))
+	if p.Sharded() {
+		for s := range p.shards {
+			di := s % len(p.devices)
+			assign[di] = append(assign[di], unit{shard: s, span: pending{0, len(reads)}})
+		}
+	} else {
+		offset := 0
+		for di, n := range p.shares(len(reads)) {
+			if n > 0 {
+				assign[di] = []unit{{shard: -1, span: pending{offset, offset + n}}}
+				offset += n
+			}
 		}
 	}
 
@@ -356,7 +502,7 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 			wg.Add(1)
 			go func(di int) {
 				defer wg.Done()
-				outs[di] = p.mapOnDevice(ctx, queues[di], assign[di], reads, res.Mappings, opt, p.deadlineFor(di))
+				outs[di] = p.mapOnDevice(ctx, queues[di], assign[di], reads, outFor, opt, p.deadlineFor(di))
 			}(di)
 		}
 		wg.Wait()
@@ -382,7 +528,7 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 
 		// Collect outcomes in device order so stats and error lists are
 		// deterministic.
-		var failSpans, lateSpans []pending
+		var failUnits, lateUnits []unit
 		for di, dev := range p.devices {
 			if len(assign[di]) == 0 {
 				continue
@@ -395,47 +541,45 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 				eligible[di] = false
 				res.Faults.FailedDevices = append(res.Faults.FailedDevices, dev.Name)
 				devErrs = append(devErrs, fmt.Errorf("device %s: %w", dev.Name, o.err))
-				failSpans = append(failSpans, o.unmapped...)
+				failUnits = append(failUnits, o.unmapped...)
 				if t := p.tracer; t != nil {
 					t.Instant(dev.Name, "device-failed",
 						trace.Str("error", o.err.Error()),
-						trace.I64("unmapped_reads", int64(spanReads(o.unmapped))))
+						trace.I64("unmapped_reads", int64(unitReads(o.unmapped))))
 				}
 			case o.deadline:
 				eligible[di] = false
 				devErrs = append(devErrs, fmt.Errorf(
 					"device %s: simulated deadline %gs exceeded", dev.Name, p.deadlineFor(di)))
-				lateSpans = append(lateSpans, o.unmapped...)
+				lateUnits = append(lateUnits, o.unmapped...)
 				if t := p.tracer; t != nil {
 					t.Instant(dev.Name, "deadline-exceeded",
 						trace.F64("deadline_sec", p.deadlineFor(di)),
-						trace.I64("unmapped_reads", int64(spanReads(o.unmapped))))
+						trace.I64("unmapped_reads", int64(unitReads(o.unmapped))))
 				}
 			}
 		}
 		if t := p.tracer; t != nil {
-			if n := spanReads(failSpans); n > 0 {
+			if n := unitReads(failUnits); n > 0 {
 				t.Instant("host", "failover", trace.I64("reads", int64(n)),
 					trace.I64("round", int64(round)))
 			}
-			if n := spanReads(lateSpans); n > 0 {
+			if n := unitReads(lateUnits); n > 0 {
 				t.Instant("host", "deadline-migrate", trace.I64("reads", int64(n)),
 					trace.I64("round", int64(round)))
 			}
 		}
-		res.Faults.FailoverReads += spanReads(failSpans)
-		res.Faults.DeadlineReads += spanReads(lateSpans)
-		redo := append(failSpans, lateSpans...)
+		res.Faults.FailoverReads += unitReads(failUnits)
+		res.Faults.DeadlineReads += unitReads(lateUnits)
+		redo := append(failUnits, lateUnits...)
 		if len(redo) == 0 {
 			break
 		}
-		sort.Slice(redo, func(i, j int) bool { return redo[i].start < redo[j].start })
-		counts := p.sharesAmong(spanReads(redo), eligible)
-		if counts == nil {
+		assign = p.redistribute(redo, eligible)
+		if assign == nil {
 			return nil, fmt.Errorf("core: no device completed the workload: %w",
 				errors.Join(devErrs...))
 		}
-		assign = partitionSpans(redo, counts)
 	}
 
 	// Aggregate in device order over every queue that ran.
@@ -448,7 +592,80 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 		res.EnergyJ += queues[di].EnergyJ()
 		res.Cost.Add(cost)
 	}
+
+	// Shard dispatch: merge the per-shard partials per read. Shards
+	// already globalized positions and filtered to their ownership
+	// ranges, so the merge is a deterministic re-finalize over disjoint
+	// position sets — independent of device count, scheduling and
+	// failover history.
+	if p.Sharded() {
+		parts := make([][]mapper.Mapping, len(partials))
+		for r := range reads {
+			for s := range partials {
+				parts[s] = partials[s][r]
+			}
+			res.Mappings[r] = mapper.MergeShards(parts, opt.Best, opt.MaxLocations)
+		}
+	}
 	return res, nil
+}
+
+// validateOverlap rejects shard-dispatch runs whose reads are too long
+// for the overlap the shards were built with: a read of length L mapping
+// with up to δ edits needs every candidate window of length L+2δ around
+// an owned position to be inside the owning shard's slice, so the slice
+// margin must be at least L+2δ. Failing loudly here is what makes the
+// shard-vs-whole equivalence guarantee honest.
+func (p *Pipeline) validateOverlap(reads [][]byte, opt mapper.Options) error {
+	if !p.Sharded() || len(p.shards) < 2 {
+		return nil
+	}
+	maxLen := 0
+	for _, r := range reads {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	if need := maxLen + 2*opt.MaxErrors; p.overlap < need {
+		return fmt.Errorf("core: shard overlap %d is too small for %d-base reads with %d errors (need >= %d); rebuild the index with a larger overlap",
+			p.overlap, maxLen, opt.MaxErrors, need)
+	}
+	return nil
+}
+
+// redistribute deals the redo units out across the eligible devices,
+// shard by shard: each shard's spans split by the surviving shares, so a
+// lost device's reference slice re-dispatches (with its unfinished
+// reads) onto every survivor. Returns nil when no device is eligible.
+func (p *Pipeline) redistribute(redo []unit, eligible []bool) [][]unit {
+	sort.Slice(redo, func(i, j int) bool {
+		if redo[i].shard != redo[j].shard {
+			return redo[i].shard < redo[j].shard
+		}
+		return redo[i].span.start < redo[j].span.start
+	})
+	assign := make([][]unit, len(p.devices))
+	for lo := 0; lo < len(redo); {
+		hi := lo
+		for hi < len(redo) && redo[hi].shard == redo[lo].shard {
+			hi++
+		}
+		spans := make([]pending, 0, hi-lo)
+		for _, u := range redo[lo:hi] {
+			spans = append(spans, u.span)
+		}
+		counts := p.sharesAmong(spanReads(spans), eligible)
+		if counts == nil {
+			return nil
+		}
+		for di, sps := range partitionSpans(spans, counts) {
+			for _, sp := range sps {
+				assign[di] = append(assign[di], unit{shard: redo[lo].shard, span: sp})
+			}
+		}
+		lo = hi
+	}
+	return assign
 }
 
 // deadlineFor returns device di's simulated-seconds budget (0 = none).
@@ -534,24 +751,64 @@ func partitionSpans(spans []pending, counts []int) [][]pending {
 	return out
 }
 
-// mapOnDevice runs one device's assigned spans on its queue, batching
-// reads so the static buffers respect CL_DEVICE_MAX_MEM_ALLOC_SIZE. It
+// shardRef resolves a unit's shard id to the index it searches and the
+// coordinate transform its kernel applies: read-split units (-1) search
+// the whole index with no transform; shard units search the slice index,
+// shift positions by the slice origin, and keep only owned positions.
+type shardRef struct {
+	ix               *fmindex.Index
+	sliceStart       int64
+	ownStart, ownEnd int64
+	filter           bool
+}
+
+func (p *Pipeline) shardRef(shard int) shardRef {
+	if shard < 0 {
+		return shardRef{ix: p.ix}
+	}
+	s := p.shards[shard]
+	return shardRef{ix: s.Index, sliceStart: s.SliceStart,
+		ownStart: s.OwnStart, ownEnd: s.OwnEnd, filter: true}
+}
+
+// mapOnDevice runs one device's assigned units on its queue, batching
+// reads so the static buffers respect CL_DEVICE_MAX_MEM_ALLOC_SIZE. The
+// device holds one shard's index buffer at a time — freed when the next
+// unit needs a different shard, the embedded-memory model — so a device
+// serving several shards pays one allocation per shard changeover. It
 // implements the in-place recovery tier: transient faults retry on the
 // same device with doubling simulated backoff, allocation failures halve
 // the batch, and anything permanent stops the device and reports the
-// unfinished spans for failover.
-func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, deadlineSec float64) (o outcome) {
+// unfinished units for failover.
+func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, units []unit, reads [][]byte, outFor func(int) [][]mapper.Mapping, opt mapper.Options, deadlineSec float64) (o outcome) {
 	dev := queue.Device()
-	ixBuf, err := p.allocWithRetry(ctx, queue, p.ix.SizeBytes(), opt, &o)
-	if err != nil {
-		o.failed = true
-		o.err = fmt.Errorf("index does not fit: %w", err)
-		o.unmapped = spans
-		return o
-	}
-	defer ixBuf.Free()
+	var ixBuf *cl.Buffer
+	curShard := -2 // no buffer resident yet
+	defer func() {
+		if ixBuf != nil {
+			ixBuf.Free()
+		}
+	}()
 
-	for si, sp := range spans {
+	for ui, u := range units {
+		ref := p.shardRef(u.shard)
+		if u.shard != curShard {
+			if ixBuf != nil {
+				ixBuf.Free()
+				ixBuf = nil
+			}
+			buf, err := p.allocWithRetry(ctx, queue, ref.ix.SizeBytes(), opt, &o)
+			if err != nil {
+				o.failed = true
+				o.err = fmt.Errorf("index does not fit: %w", err)
+				o.unmapped = append([]unit{}, units[ui:]...)
+				return o
+			}
+			ixBuf = buf
+			curShard = u.shard
+		}
+		out := outFor(u.shard)
+		sp := u.span
 		readLen := len(reads[sp.start])
 		outPerRead := int64(opt.MaxLocations) * locationBytes
 		inPerRead := int64((readLen + 3) / 4)
@@ -565,7 +822,7 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending
 		if batch < 1 {
 			o.failed = true
 			o.err = fmt.Errorf("a single read's buffers exceed the allocation limit")
-			o.unmapped = append([]pending{sp}, spans[si+1:]...)
+			o.unmapped = append([]unit{u}, units[ui+1:]...)
 			return o
 		}
 		start := sp.start
@@ -575,7 +832,7 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending
 			if deadlineSec > 0 {
 				if busy, _ := queue.Finish(); busy >= deadlineSec {
 					o.deadline = true
-					o.unmapped = append([]pending{{start, sp.end}}, spans[si+1:]...)
+					o.unmapped = append([]unit{{u.shard, pending{start, sp.end}}}, units[ui+1:]...)
 					return o
 				}
 			}
@@ -583,7 +840,7 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending
 			if end > sp.end {
 				end = sp.end
 			}
-			err := p.runBatch(ctx, queue, reads[start:end], out[start:end], opt)
+			err := p.runBatch(ctx, queue, ref, reads[start:end], out[start:end], opt)
 			if err == nil {
 				start = end
 				attempts = 0
@@ -613,7 +870,7 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, spans []pending
 			default:
 				o.failed = true
 				o.err = err
-				o.unmapped = append([]pending{{start, sp.end}}, spans[si+1:]...)
+				o.unmapped = append([]unit{{u.shard, pending{start, sp.end}}}, units[ui+1:]...)
 				return o
 			}
 		}
@@ -647,7 +904,7 @@ func (p *Pipeline) allocWithRetry(ctx *cl.Context, queue *cl.Queue, size int64, 
 }
 
 // runBatch allocates the batch buffers and enqueues the mapping kernel.
-func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options) error {
+func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, ref shardRef, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options) error {
 	dev := queue.Device()
 	readLen := len(reads[0])
 	inBuf, err := ctx.AllocBuffer(dev, int64(len(reads))*int64((readLen+3)/4))
@@ -661,7 +918,7 @@ func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, reads [][]byte, ou
 	}
 	defer outBuf.Free()
 
-	kern := p.kernel(reads, out, opt, inBuf.Size()+outBuf.Size())
+	kern := p.kernel(ref, reads, out, opt, inBuf.Size()+outBuf.Size())
 	if p.itemHist != nil {
 		kern = instrumentKernel(kern, p.itemHist)
 	}
@@ -699,9 +956,13 @@ type kernelState struct {
 	locs  []int32
 }
 
-// kernel builds the combined filtration+verification kernel over a batch.
-// Each work item maps one read on both strands.
-func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, transferBytes int64) *cl.Kernel {
+// kernel builds the combined filtration+verification kernel over a batch
+// against one shard's (or the whole) index. Each work item maps one read
+// on both strands. Shard kernels verify in slice-local coordinates, then
+// shift positions by the slice origin and drop mappings outside the
+// shard's ownership range in place — the merge step only ever sees
+// globally-coordinated, owner-filtered mappings.
+func (p *Pipeline) kernel(ref shardRef, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, transferBytes int64) *cl.Kernel {
 	maxErr := opt.MaxErrors
 	params := seed.Params{
 		Errors:      maxErr,
@@ -714,7 +975,7 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 	// Cap on located candidates per strand: the verification slots are
 	// static, so a read cannot fan out indefinitely (first-n policy).
 	maxCand := 2 * opt.MaxLocations
-	locSteps := p.ix.LocateSteps()
+	locSteps := ref.ix.LocateSteps()
 	perItemBytes := transferBytes / int64(len(reads))
 
 	return &cl.Kernel{
@@ -738,7 +999,7 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 					dna.ReverseComplementInto(st.rev, read)
 					pattern = st.rev
 				}
-				sel, err := p.selector.Select(p.ix, pattern, params)
+				sel, err := p.selector.Select(ref.ix, pattern, params)
 				if err != nil {
 					// Static kernels cannot recover; surface as a launch
 					// failure like a real kernel fault would.
@@ -758,7 +1019,7 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 					if c > remaining {
 						c = remaining
 					}
-					st.locs = p.ix.Locate(s.Lo, s.Lo+c, 0, st.locs[:0])
+					st.locs = ref.ix.Locate(s.Lo, s.Lo+c, 0, st.locs[:0])
 					itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
 					for _, pos := range st.locs {
 						st.cands = append(st.cands, mapper.Candidate{
@@ -770,7 +1031,23 @@ func (p *Pipeline) kernel(reads [][]byte, out [][]mapper.Mapping, opt mapper.Opt
 				}
 			}
 			dd := mapper.DedupCandidates(st.cands, int32(maxErr))
-			ms, vc := st.vs.Verify(p.ix.Text(), read, dd, maxErr, opt.MaxLocations)
+			ms, vc := st.vs.Verify(ref.ix.Text(), read, dd, maxErr, opt.MaxLocations)
+			if ref.filter {
+				// Globalize and owner-filter in place: positions shift by a
+				// constant so the sorted order Verify established survives,
+				// and compaction writes only into slots already held.
+				w := 0
+				for _, m := range ms {
+					g := int64(m.Pos) + ref.sliceStart
+					if g < ref.ownStart || g >= ref.ownEnd {
+						continue
+					}
+					m.Pos = int32(g)
+					ms[w] = m
+					w++
+				}
+				ms = ms[:w]
+			}
 			itemCost.VerifyWords += vc.VerifyWords
 			itemCost.Items = 1
 			itemCost.Bytes = perItemBytes

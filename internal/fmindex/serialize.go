@@ -3,6 +3,7 @@ package fmindex
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -11,11 +12,30 @@ import (
 )
 
 // Binary format: magic, version, then fixed-width fields and length-
-// prefixed sections. All integers are little-endian.
+// prefixed sections. All integers are little-endian. Every section length
+// is fully determined by the text length n, so ReadFrom can reject a
+// corrupt length field before allocating anything — a fuzzer-supplied
+// 8-byte field must never translate into a multi-gigabyte make().
 const (
 	indexMagic   = uint32(0x52455055) // "REPU"
 	indexVersion = uint32(1)
+
+	// maxTextLen caps the text length a deserialized index may claim
+	// (16 Gbase — far beyond any reference this tool targets, small
+	// enough that the derived section sizes stay addressable).
+	maxTextLen = 1 << 34
 )
+
+// ErrCorrupt is wrapped by every ReadFrom error caused by the input data
+// itself (as opposed to I/O failure): bad magic, impossible lengths,
+// inconsistent internal structure. errors.Is(err, ErrCorrupt)
+// distinguishes "this file is damaged" from "this file is unreadable".
+var ErrCorrupt = errors.New("corrupt index data")
+
+// corruptf builds an ErrCorrupt-wrapped deserialization error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("fmindex: "+format+": %w", append(args, ErrCorrupt)...)
+}
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -64,7 +84,27 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadFrom deserializes an index written by WriteTo.
+// Expected section lengths for a text of n bases. They mirror the build
+// path exactly: Pack stores 4 bases per byte, the BWT covers n+1 rows,
+// occ holds one 4-entry checkpoint per occCheckpoint rows plus one, the
+// full SA has n entries, and the sampled mode stores every rate-th text
+// position plus an (n+1)-bit marker vector.
+func expectedBWTBytes(n int) uint64  { return uint64(n+1+3) / 4 }
+func expectedTextBytes(n int) uint64 { return uint64(n+3) / 4 }
+func expectedOccLen(n int) uint64    { return 4 * (uint64(n+1)/occCheckpoint + 1) }
+func expectedSamples(n, rate int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return uint64((n-1)/rate) + 1
+}
+func expectedSampledWords(n int) uint64 { return uint64(n+1+63) / 64 }
+
+// ReadFrom deserializes an index written by WriteTo. Input corruption —
+// wrong magic, a length field that disagrees with the declared text
+// length, internal inconsistency — yields an error wrapping ErrCorrupt
+// and never a large speculative allocation: every section length is
+// validated against its expected value before the backing slice is made.
 func ReadFrom(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var magic, version uint32
@@ -72,13 +112,13 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("fmindex: reading magic: %w", err)
 	}
 	if magic != indexMagic {
-		return nil, fmt.Errorf("fmindex: bad magic %#x", magic)
+		return nil, corruptf("bad magic %#x", magic)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
 	if version != indexVersion {
-		return nil, fmt.Errorf("fmindex: unsupported version %d", version)
+		return nil, corruptf("unsupported version %d", version)
 	}
 
 	readU64 := func() (uint64, error) {
@@ -97,21 +137,31 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxLen = 1 << 40
-	if nU > maxLen {
-		return nil, fmt.Errorf("fmindex: implausible length %d", nU)
+	if nU > maxTextLen {
+		return nil, corruptf("implausible length %d", nU)
 	}
 	ix.n = int(nU)
+	total := uint64(0)
 	for i := range ix.counts {
 		v, err := readU64()
 		if err != nil {
 			return nil, err
 		}
+		if v > nU {
+			return nil, corruptf("symbol count %d exceeds length %d", v, nU)
+		}
 		ix.counts[i] = int(v)
+		total += v
+	}
+	if total != nU {
+		return nil, corruptf("counts sum %d != length %d", total, nU)
 	}
 	sr, err := readU64()
 	if err != nil {
 		return nil, err
+	}
+	if sr > nU {
+		return nil, corruptf("sentinel row %d out of range 0..%d", sr, nU)
 	}
 	ix.sentinelRow = int(sr)
 	rate, err := readU32()
@@ -120,42 +170,48 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	}
 	ix.sampleRate = int(rate)
 
-	readBytes := func() ([]byte, error) {
-		n, err := readU64()
+	readBytes := func(name string, want uint64) ([]byte, error) {
+		got, err := readU64()
 		if err != nil {
 			return nil, err
 		}
-		if n > maxLen {
-			return nil, fmt.Errorf("fmindex: implausible section size %d", n)
+		if got != want {
+			return nil, corruptf("%s section declares %d bytes, text length %d implies %d",
+				name, got, ix.n, want)
 		}
-		b := make([]byte, n)
-		_, err = io.ReadFull(br, b)
-		return b, err
+		b := make([]byte, got)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
 	}
-	readInt32s := func() ([]int32, error) {
-		n, err := readU64()
+	readInt32s := func(name string, want uint64) ([]int32, error) {
+		got, err := readU64()
 		if err != nil {
 			return nil, err
 		}
-		if n > maxLen {
-			return nil, fmt.Errorf("fmindex: implausible section size %d", n)
+		if got != want {
+			return nil, corruptf("%s section declares %d entries, text length %d implies %d",
+				name, got, ix.n, want)
 		}
-		s := make([]int32, n)
-		err = binary.Read(br, binary.LittleEndian, s)
-		return s, err
+		s := make([]int32, got)
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+		return s, nil
 	}
 
-	bwtBytes, err := readBytes()
+	bwtBytes, err := readBytes("bwt", expectedBWTBytes(ix.n))
 	if err != nil {
 		return nil, err
 	}
 	ix.bwt = packedFromBytes(bwtBytes, ix.n+1)
-	textBytes, err := readBytes()
+	textBytes, err := readBytes("text", expectedTextBytes(ix.n))
 	if err != nil {
 		return nil, err
 	}
 	ix.text = packedFromBytes(textBytes, ix.n)
-	if ix.occ, err = readInt32s(); err != nil {
+	if ix.occ, err = readInt32s("occ", expectedOccLen(ix.n)); err != nil {
 		return nil, err
 	}
 	mode, err := readU32()
@@ -164,28 +220,47 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	}
 	switch mode {
 	case 0:
-		if ix.sa, err = readInt32s(); err != nil {
+		if ix.sampleRate != 0 {
+			return nil, corruptf("full-SA locate mode with sample rate %d", ix.sampleRate)
+		}
+		if ix.sa, err = readInt32s("suffix array", uint64(ix.n)); err != nil {
 			return nil, err
 		}
-		ix.sampleRate = 0
+		for _, v := range ix.sa {
+			if v < 0 || int(v) >= ix.n {
+				return nil, corruptf("suffix array entry %d out of range 0..%d", v, ix.n-1)
+			}
+		}
 	case 1:
-		if ix.samples, err = readInt32s(); err != nil {
+		if ix.sampleRate < 1 {
+			return nil, corruptf("sampled locate mode with rate %d", ix.sampleRate)
+		}
+		if ix.samples, err = readInt32s("samples", expectedSamples(ix.n, ix.sampleRate)); err != nil {
 			return nil, err
+		}
+		for _, v := range ix.samples {
+			if v < 0 || int(v) >= ix.n || int(v)%ix.sampleRate != 0 {
+				return nil, corruptf("sample position %d invalid for rate %d", v, ix.sampleRate)
+			}
 		}
 		nWords, err := readU64()
 		if err != nil {
 			return nil, err
 		}
-		if nWords > maxLen/8 {
-			return nil, fmt.Errorf("fmindex: implausible bitvector size %d", nWords)
+		if nWords != expectedSampledWords(ix.n) {
+			return nil, corruptf("sample bitvector declares %d words, text length %d implies %d",
+				nWords, ix.n, expectedSampledWords(ix.n))
 		}
 		words := make([]uint64, nWords)
 		if err := binary.Read(br, binary.LittleEndian, words); err != nil {
 			return nil, err
 		}
 		ix.sampled = bitvec.FromWords(words, ix.n+1)
+		if got, want := ix.sampled.Ones(), len(ix.samples); got != want {
+			return nil, corruptf("sample bitvector marks %d rows for %d samples", got, want)
+		}
 	default:
-		return nil, fmt.Errorf("fmindex: unknown locate mode %d", mode)
+		return nil, corruptf("unknown locate mode %d", mode)
 	}
 
 	sum := 1
@@ -195,7 +270,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	}
 	ix.cArr[4] = sum
 	if err := ix.validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", err, ErrCorrupt)
 	}
 	return ix, nil
 }

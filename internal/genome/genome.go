@@ -24,10 +24,13 @@ type Contig struct {
 	Length int
 }
 
-// Genome is an immutable set of contigs over one concatenated text.
+// Genome is an immutable set of contigs over one concatenated text. A
+// coordinate-only genome (FromContigs) has textLen set but no text: all
+// coordinate conversions work, Text returns nil.
 type Genome struct {
 	contigs []Contig
-	text    []byte // concatenated base codes
+	text    []byte // concatenated base codes (nil when coordinate-only)
+	textLen int    // total length, valid even without text
 }
 
 // New builds a genome from named sequences of base codes. Contig order is
@@ -57,6 +60,7 @@ func New(names []string, seqs [][]byte) (*Genome, error) {
 		g.text = append(g.text, seqs[i]...)
 		offset += len(seqs[i])
 	}
+	g.textLen = len(g.text)
 	return g, nil
 }
 
@@ -81,15 +85,15 @@ func FromFasta(recs []fastx.Record, rng *rand.Rand) (*Genome, error) {
 func (g *Genome) Text() []byte { return g.text }
 
 // Len returns the total concatenated length.
-func (g *Genome) Len() int { return len(g.text) }
+func (g *Genome) Len() int { return g.textLen }
 
 // Contigs returns the contig table in order.
 func (g *Genome) Contigs() []Contig { return g.contigs }
 
 // Locate converts a global position into (contig, offset within contig).
 func (g *Genome) Locate(pos int) (Contig, int, error) {
-	if pos < 0 || pos >= len(g.text) {
-		return Contig{}, 0, fmt.Errorf("genome: position %d out of range 0..%d", pos, len(g.text)-1)
+	if pos < 0 || pos >= g.textLen {
+		return Contig{}, 0, fmt.Errorf("genome: position %d out of range 0..%d", pos, g.textLen-1)
 	}
 	// Binary search for the last contig with Offset <= pos.
 	i := sort.Search(len(g.contigs), func(i int) bool {
@@ -171,7 +175,25 @@ func FromParts(contigs []Contig, text []byte) (*Genome, error) {
 	if total != len(text) {
 		return nil, fmt.Errorf("genome: contigs cover %d bases, text has %d", total, len(text))
 	}
-	return &Genome{contigs: contigs, text: text}, nil
+	return &Genome{contigs: contigs, text: text, textLen: total}, nil
+}
+
+// FromContigs builds a coordinate-only genome from a validated contig
+// table: Locate, Global and SpansBoundary work, Text returns nil. Used
+// when the reference text lives elsewhere (e.g. sharded index artifacts
+// hold per-slice texts and only the contig table travels in the meta).
+func FromContigs(contigs []Contig) (*Genome, error) {
+	if len(contigs) == 0 {
+		return nil, fmt.Errorf("genome: no contigs")
+	}
+	total := 0
+	for _, c := range contigs {
+		if c.Offset != total || c.Length <= 0 {
+			return nil, fmt.Errorf("genome: contig %q has inconsistent layout", c.Name)
+		}
+		total += c.Length
+	}
+	return &Genome{contigs: contigs, textLen: total}, nil
 }
 
 // ReadTable deserializes a contig table written by WriteTo and attaches
@@ -188,7 +210,7 @@ func ReadTable(r *bufio.Reader, text []byte) (*Genome, error) {
 // contig boundary — such alignments are artefacts of concatenation and
 // must be discarded by callers.
 func (g *Genome) SpansBoundary(pos, length int) bool {
-	if pos < 0 || pos+length > len(g.text) {
+	if pos < 0 || pos+length > g.textLen {
 		return true
 	}
 	c, off, err := g.Locate(pos)

@@ -316,6 +316,28 @@ func Finalize(ms []Mapping, bestOnly bool, maxLoc int) []Mapping {
 	return ms
 }
 
+// MergeShards combines one read's mappings from several reference shards
+// into the final report. Inputs must already be in global coordinates
+// and filtered to each shard's ownership range, so the union has no
+// cross-shard duplicates and the merge reduces to a deterministic
+// re-finalize: sort by (Pos, Strand, Dist), re-apply the best-stratum
+// policy across shards, and re-impose the first-n cap globally. The
+// result is independent of shard count and of the order shards finished.
+func MergeShards(parts [][]Mapping, bestOnly bool, maxLoc int) []Mapping {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]Mapping, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return Finalize(all, bestOnly, maxLoc)
+}
+
 // ValidateReads rejects reads no mapper here can handle.
 func ValidateReads(reads [][]byte, opt Options) error {
 	for i, r := range reads {
