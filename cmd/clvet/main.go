@@ -1,34 +1,56 @@
-// Command clvet is the multichecker driver for the clvet analyzer
-// suite: it statically enforces the simulated-OpenCL kernel contract
-// (see internal/analysis/clvet) across the module.
+// Command clvet is the unified multichecker for the repro analyzer
+// suites: the kernel-contract checks of internal/analysis/clvet and the
+// whole-pipeline checks of internal/analysis/pipevet (determinism,
+// lock-guard annotations, error taxonomy, trace discipline, hot-path
+// allocation).
 //
 // Usage:
 //
 //	go run ./cmd/clvet ./...
 //	go run ./cmd/clvet -tests ./internal/cl
+//	go run ./cmd/clvet -json ./... > findings.json
 //
 // Diagnostics print in go-vet style (file:line:col: message (analyzer))
 // and any finding makes the command exit non-zero, so CI can use it as
-// a gate. Packages are loaded and type-checked entirely from source —
-// no build cache, network or go command is needed at analysis time.
+// a gate; -json switches to a machine-readable array of findings.
+// Packages are loaded and type-checked entirely from source, once, and
+// shared across every analyzer — no build cache, network or go command
+// is needed at analysis time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/clvet"
+	"repro/internal/analysis/pipevet"
 )
+
+// analyzers returns the combined suite, clvet first.
+func analyzers() []*analysis.Analyzer {
+	return append(clvet.Analyzers(), pipevet.Analyzers()...)
+}
+
+// finding is the -json shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: clvet [-tests] [packages]\n\nAnalyzers:\n")
-		for _, a := range clvet.Analyzers() {
+			"usage: clvet [-tests] [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
@@ -36,7 +58,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range clvet.Analyzers() {
+		for _, a := range analyzers() {
 			fmt.Printf("%s: %s\n", a.Name, a.Doc)
 		}
 		return
@@ -56,12 +78,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := analysis.Run(clvet.Analyzers(), pkgs)
+	diags, err := analysis.Run(analyzers(), pkgs)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+
+	if *jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -43,19 +43,7 @@ func runCostCharge(pass *analysis.Pass) error {
 // packageFuncDecls maps this package's function and method objects to
 // their declarations, the reachable part of the call graph.
 func packageFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	return decls
+	return analysis.FuncDecls(pass)
 }
 
 // reachesCharge walks one function body looking for a Charge call,

@@ -196,42 +196,18 @@ func stateAliases(pass *analysis.Pass, site kernelSite) map[types.Object]bool {
 	return aliases
 }
 
-// isMapType reports whether expr has a map type.
+// isMapType, calleeFunc and walkWithParents delegate to the shared
+// framework utilities (they started life here and moved up when pipevet
+// needed them too).
+
 func isMapType(pass *analysis.Pass, e ast.Expr) bool {
-	t := pass.TypesInfo.TypeOf(e)
-	if t == nil {
-		return false
-	}
-	_, ok := t.Underlying().(*types.Map)
-	return ok
+	return analysis.IsMapType(pass.TypesInfo, e)
 }
 
-// calleeFunc resolves a call's target to a declared function or method.
 func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
-			return fn
-		}
-	case *ast.SelectorExpr:
-		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
-			return fn
-		}
-	}
-	return nil
+	return analysis.CalleeFunc(pass.TypesInfo, call)
 }
 
-// walkWithParents traverses n, handing each visited node its ancestor
-// stack (nearest last) — the parent context the stdlib Inspect lacks.
 func walkWithParents(n ast.Node, visit func(ast.Node, []ast.Node)) {
-	var stack []ast.Node
-	ast.Inspect(n, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		visit(n, stack)
-		stack = append(stack, n)
-		return true
-	})
+	analysis.WalkParents(n, visit)
 }

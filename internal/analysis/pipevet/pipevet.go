@@ -1,0 +1,82 @@
+// Package pipevet statically enforces whole-pipeline discipline — the
+// invariants the reproduction's guarantees rest on but that no
+// fixed-seed test reliably exercises. clvet (PR 2) gates the kernel
+// contract inside cl.Kernel bodies; pipevet extends the same treatment
+// to the host layers the kernels run in:
+//
+//   - pipedeterminism: pipeline packages (core, cl, checkpoint, fastx,
+//     trace, index, sam) must not read wall clocks, draw from the global
+//     math/rand source, or let map iteration order reach outputs or
+//     serialized state — the serial/parallel and kill-and-resume
+//     bit-identity guarantees depend on it.
+//   - lockguard: struct fields annotated "guarded by <mu>" may only be
+//     accessed while the named mutex is held (the Buffer.Free race
+//     fixed by hand in PR 2, as a compile-time class of bug).
+//   - errwrap: every error constructed in internal/cl must be a typed
+//     *cl.Error / Code sentinel, or wrap one with %w — a bare
+//     fmt.Errorf starves the fault-recovery classification
+//     (IsTransient / IsAllocFailure / IsDeviceLost).
+//   - tracedisc: every trace span Begin is Ended on all paths
+//     (including error returns), and metric names at registry call
+//     sites follow the conventions (snake_case segments, counters end
+//     in _total).
+//   - hotalloc: functions annotated //repute:hotpath — and everything
+//     they transitively call in the same package — must not allocate
+//     outside caller-owned scratch; error-path constructions are
+//     exempt, and amortised allocations carry a justified
+//     //pipevet:allow.
+//
+// Suppressions use //pipevet:allow <analyzer> -- <reason> on the
+// offending line or the line above; the reason is mandatory
+// (internal/analysis/directives.go). DESIGN.md §13 documents each
+// analyzer's contract.
+package pipevet
+
+import (
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzers returns the full pipevet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		PipeDeterminism,
+		LockGuard,
+		ErrWrap,
+		TraceDisc,
+		HotAlloc,
+	}
+}
+
+// pipelineDirs are the internal packages under the determinism
+// contract: everything between reading a record and writing a mapping,
+// plus the state that round-trips through checkpoints and traces.
+var pipelineDirs = map[string]bool{
+	"core": true, "cl": true, "checkpoint": true, "fastx": true,
+	"trace": true, "index": true, "sam": true,
+}
+
+// isPipelinePackage reports whether the pass's package is in
+// pipedeterminism scope: one of the named internal packages, or any
+// package carrying the //pipevet:pipeline-package marker.
+func isPipelinePackage(pass *analysis.Pass, dirs *analysis.Directives) bool {
+	path := pass.Pkg.Path()
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	if pipelineDirs[base] && strings.Contains(path, "internal/") {
+		return true
+	}
+	return dirs.PipelinePackage()
+}
+
+// isTestFile reports whether the AST file is an in-package _test.go
+// file. pipevet checks production discipline; tests may fake clocks,
+// leave spans open around failure assertions and allocate freely, so
+// every analyzer in the suite skips them.
+func isTestFile(pass *analysis.Pass, f interface{ Pos() token.Pos }) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,48 @@
+package pipevet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pipevet"
+)
+
+func TestPipeDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.PipeDeterminism, "pipedeterminism")
+}
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.LockGuard, "lockguard")
+}
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.ErrWrap, "errwrap")
+}
+
+func TestTraceDisc(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.TraceDisc, "tracedisc")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.HotAlloc, "hotalloc")
+}
+
+func TestAnalyzersListsAllFive(t *testing.T) {
+	want := map[string]bool{
+		"pipedeterminism": true, "lockguard": true, "errwrap": true,
+		"tracedisc": true, "hotalloc": true,
+	}
+	got := pipevet.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("missing analyzer %q", name)
+	}
+}

@@ -137,9 +137,13 @@ type Device struct {
 	// 0 means host-shared memory (no transfer cost).
 	TransferBytesPerSec float64
 
+	// mu guards the mutable tail of the device; the exported
+	// capability fields above are set once at construction and read
+	// freely.
+	mu sync.Mutex
 	// faults is the armed fault-injection plan plus its ordinal
 	// counters; nil (the default) injects nothing. See InstallFaults.
-	faults *faultState
+	faults *faultState // guarded by mu
 }
 
 // Occupancy returns how many work items one CU co-executes for a kernel
@@ -170,7 +174,7 @@ type Platform struct {
 // Context owns buffers for a set of devices.
 type Context struct {
 	mu        sync.Mutex
-	allocated map[*Device]int64
+	allocated map[*Device]int64 // guarded by mu
 	// tracer receives alloc/free instants; nil when tracing is off. Set
 	// it before sharing the context across goroutines (SetTracer is not
 	// synchronised against in-flight allocations).
@@ -198,7 +202,7 @@ type Buffer struct {
 	ctx  *Context
 	dev  *Device
 	size int64
-	free bool
+	free bool // guarded by ctx.mu
 }
 
 // AllocError describes a failed buffer allocation.
@@ -242,7 +246,7 @@ func (c *Context) allocBuffer(dev *Device, size int64) (*Buffer, error) {
 	if size <= 0 {
 		return nil, &AllocError{Device: dev.Name, Requested: size, Reason: "non-positive size"}
 	}
-	if fs := dev.faults; fs != nil {
+	if fs := dev.faultState(); fs != nil {
 		if err := fs.admitAlloc(dev.Name, size); err != nil {
 			return nil, err
 		}
@@ -429,12 +433,17 @@ func (q *Queue) SetTraceOrigin(sec float64) { q.traceOrigin = sec }
 // first passes through the injector: a scheduled fault fails the launch
 // with a typed *Error — no work items run, no event is recorded, no cost
 // is charged — and a scheduled throttle slows the event's compute time.
+//
+//repute:hotpath
 func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 	if globalSize < 0 {
-		return Event{}, fmt.Errorf("cl: kernel %s: negative global size %d", k.Name, globalSize)
+		return Event{}, &Error{
+			Code: InvalidGlobalWorkSize, Op: "enqueue", Device: q.dev.Name, Kernel: k.Name,
+			Detail: fmt.Sprintf("negative global size %d", globalSize),
+		}
 	}
 	throttle := 1.0
-	if fs := q.dev.faults; fs != nil {
+	if fs := q.dev.faultState(); fs != nil {
 		factor, ferr := fs.admitEnqueue(q.dev.Name, k.Name)
 		if ferr != nil {
 			if t := q.tracer; t != nil {
@@ -464,6 +473,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 	q.busyTotal += ev.SimSeconds
 	q.costTotal.Add(ev.Cost)
 	if t := q.tracer; t != nil {
+		//pipevet:allow hotalloc -- tracing-enabled path only; the zero-cost contract is tracer-off
 		attrs := []trace.Attr{
 			trace.I64("global_size", int64(globalSize)),
 			trace.F64("energy_j", ev.SimSeconds*q.dev.PowerW),
@@ -476,6 +486,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 			trace.I64("verified", total.Verified),
 		}
 		if throttle != 1 {
+			//pipevet:allow hotalloc -- tracing-enabled path only, one append per throttled enqueue
 			attrs = append(attrs, trace.F64("throttle", throttle))
 		}
 		t.Span(q.dev.Name, "enqueue:"+k.Name,

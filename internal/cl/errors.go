@@ -27,6 +27,7 @@ const (
 	MemObjectAllocationFailure Code = -4
 	OutOfResources             Code = -5
 	InvalidMemObject           Code = -38
+	InvalidGlobalWorkSize      Code = -63
 )
 
 func (c Code) String() string {
@@ -41,6 +42,8 @@ func (c Code) String() string {
 		return "CL_OUT_OF_RESOURCES"
 	case InvalidMemObject:
 		return "CL_INVALID_MEM_OBJECT"
+	case InvalidGlobalWorkSize:
+		return "CL_INVALID_GLOBAL_WORK_SIZE"
 	default:
 		return fmt.Sprintf("CL_ERROR(%d)", int32(c))
 	}

@@ -119,8 +119,12 @@ func runSerial(k *Kernel, globalSize int) (total Cost, err error) {
 	if k.NewState != nil {
 		state = k.NewState()
 	}
+	// wi is hoisted out of the loop: &wi escapes through the indirect
+	// Body call, so a loop-scoped wi would heap-allocate one WorkItem
+	// per work item. Hoisted, the whole run costs one allocation.
+	var wi WorkItem
 	for g := 0; g < globalSize; g++ {
-		wi := WorkItem{Global: g}
+		wi = WorkItem{Global: g}
 		k.Body(&wi, state)
 		total.Add(wi.cost)
 	}
@@ -134,11 +138,13 @@ func runParallel(k *Kernel, globalSize, workers, groups int) (Cost, error) {
 	var (
 		next  atomic.Int64
 		wg    sync.WaitGroup
-		costs = make([]Cost, workers)
 		fault atomic.Pointer[error]
 	)
+	//pipevet:allow hotalloc -- per-enqueue pool setup, amortised over the whole ND-range
+	costs := make([]Cost, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//pipevet:allow hotalloc -- one worker closure per pool slot, not per work item
 		go func(w int) {
 			defer wg.Done()
 			defer func() {
@@ -152,6 +158,9 @@ func runParallel(k *Kernel, globalSize, workers, groups int) (Cost, error) {
 				state = k.NewState()
 			}
 			var local Cost
+			// Hoisted for the same reason as in runSerial: one WorkItem
+			// per worker instead of one per item.
+			var wi WorkItem
 			for {
 				g := int(next.Add(1) - 1)
 				if g >= groups {
@@ -163,7 +172,7 @@ func runParallel(k *Kernel, globalSize, workers, groups int) (Cost, error) {
 					hi = globalSize
 				}
 				for i := lo; i < hi; i++ {
-					wi := WorkItem{Global: i}
+					wi = WorkItem{Global: i}
 					k.Body(&wi, state)
 					local.Add(wi.cost)
 				}

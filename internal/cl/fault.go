@@ -19,12 +19,19 @@ package cl
 // internal/core builds on top of this injector.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 )
+
+// ErrBadFaultPlan is the sentinel behind every ParseFaultPlan failure.
+// Parse errors are configuration errors, not runtime faults, so they
+// carry no status Code — but they still wrap a package sentinel so
+// callers classify them with errors.Is instead of string matching.
+var ErrBadFaultPlan = errors.New("cl: bad fault plan")
 
 // Throttle slows a device's effective lane rate within a window of
 // enqueues — the simulated analogue of thermal throttling. Factor
@@ -69,9 +76,12 @@ type faultState struct {
 }
 
 // InstallFaults arms plan on d; nil disarms. Ordinal counters start
-// fresh on every call. Arm a device before using it — installation is
-// not synchronised against in-flight enqueues.
+// fresh on every call. Installation is synchronised with the enqueue
+// and allocation paths, so arming mid-run is safe — though a plan's
+// ordinals only make sense counted from before the first enqueue.
 func (d *Device) InstallFaults(plan *FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if plan == nil {
 		d.faults = nil
 		return
@@ -79,8 +89,15 @@ func (d *Device) InstallFaults(plan *FaultPlan) {
 	d.faults = &faultState{plan: *plan}
 }
 
+// faultState returns the armed fault state, or nil.
+func (d *Device) faultState() *faultState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
 // FaultsInstalled reports whether a fault plan is armed on d.
-func (d *Device) FaultsInstalled() bool { return d.faults != nil }
+func (d *Device) FaultsInstalled() bool { return d.faultState() != nil }
 
 // FaultOrdinals is a snapshot of a device's fault-injection counters.
 // Checkpoints record it so a resumed run can restore the injection
@@ -96,7 +113,7 @@ type FaultOrdinals struct {
 // FaultOrdinals snapshots the device's injection counters; ok is false
 // when no plan is armed.
 func (d *Device) FaultOrdinals() (o FaultOrdinals, ok bool) {
-	s := d.faults
+	s := d.faultState()
 	if s == nil {
 		return FaultOrdinals{}, false
 	}
@@ -109,7 +126,7 @@ func (d *Device) FaultOrdinals() (o FaultOrdinals, ok bool) {
 // snapshot taken by FaultOrdinals. Call it after InstallFaults and
 // before any enqueue; it reports false when no plan is armed.
 func (d *Device) RestoreFaultOrdinals(o FaultOrdinals) bool {
-	s := d.faults
+	s := d.faultState()
 	if s == nil {
 		return false
 	}
@@ -183,49 +200,49 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 		}
 		key, val, ok := strings.Cut(tok, "=")
 		if !ok {
-			return nil, fmt.Errorf("cl: fault directive %q: missing '='", tok)
+			return nil, fmt.Errorf("%w: directive %q: missing '='", ErrBadFaultPlan, tok)
 		}
 		switch {
 		case strings.HasPrefix(key, "enq"):
 			n, err := parseOrdinal(key[len("enq"):])
 			if err != nil {
-				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
 			}
 			code, err := parseFaultCode(val)
 			if err != nil {
-				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
 			}
 			p.FailEnqueues[n] = code
 		case strings.HasPrefix(key, "alloc"):
 			n, err := parseOrdinal(key[len("alloc"):])
 			if err != nil {
-				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
 			}
 			code, err := parseFaultCode(val)
 			if err != nil {
-				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
 			}
 			p.FailAllocs[n] = code
 		case strings.HasPrefix(key, "throttle"):
 			froms, tos, ok := strings.Cut(key[len("throttle"):], "-")
 			if !ok {
-				return nil, fmt.Errorf("cl: fault directive %q: want throttleA-B=F", tok)
+				return nil, fmt.Errorf("%w: directive %q: want throttleA-B=F", ErrBadFaultPlan, tok)
 			}
 			from, err := parseOrdinal(froms)
 			if err != nil {
-				return nil, fmt.Errorf("cl: fault directive %q: %w", tok, err)
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
 			}
 			to, err := parseOrdinal(tos)
 			if err != nil || to < from {
-				return nil, fmt.Errorf("cl: fault directive %q: bad window", tok)
+				return nil, fmt.Errorf("%w: directive %q: bad window", ErrBadFaultPlan, tok)
 			}
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f <= 0 || f > 1 {
-				return nil, fmt.Errorf("cl: fault directive %q: factor must be in (0, 1]", tok)
+				return nil, fmt.Errorf("%w: directive %q: factor must be in (0, 1]", ErrBadFaultPlan, tok)
 			}
 			p.Throttles = append(p.Throttles, Throttle{From: from, To: to, Factor: f})
 		default:
-			return nil, fmt.Errorf("cl: unknown fault directive %q", tok)
+			return nil, fmt.Errorf("%w: unknown directive %q", ErrBadFaultPlan, tok)
 		}
 	}
 	return p, nil
@@ -234,7 +251,7 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 func parseOrdinal(s string) (int, error) {
 	n, err := strconv.Atoi(s)
 	if err != nil || n < 1 {
-		return 0, fmt.Errorf("bad ordinal %q (want integer >= 1)", s)
+		return 0, fmt.Errorf("%w: bad ordinal %q (want integer >= 1)", ErrBadFaultPlan, s)
 	}
 	return n, nil
 }
@@ -248,7 +265,7 @@ func parseFaultCode(s string) (Code, error) {
 	case "lost":
 		return DeviceNotAvailable, nil
 	}
-	return Success, fmt.Errorf("unknown fault code %q (oor, alloc, lost)", s)
+	return Success, fmt.Errorf("%w: unknown fault code %q (oor, alloc, lost)", ErrBadFaultPlan, s)
 }
 
 // EnvFaultPlan returns the fault plan named by the REPUTE_CL_FAULTS

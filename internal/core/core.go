@@ -109,7 +109,7 @@ type Pipeline struct {
 	tracer   trace.Tracer
 	itemHist *trace.Histogram
 	traceMu  sync.Mutex
-	traceSec float64
+	traceSec float64 // guarded by traceMu
 }
 
 // New builds the index from ref and returns the pipeline.

@@ -251,6 +251,8 @@ func (s *Scanner) detectFormat() bool {
 // offset and line counters by the raw line (including its newline). long
 // reports that the raw line exceeded MaxLineBytes (its content is
 // discarded but its bytes are consumed and counted).
+//
+//repute:hotpath
 func (s *Scanner) next() (line []byte, size int64, long, ok bool) {
 	if s.hasPending {
 		s.hasPending = false

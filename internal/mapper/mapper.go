@@ -5,8 +5,9 @@
 package mapper
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/align"
 	"repro/internal/cl"
@@ -185,15 +186,17 @@ type Candidate struct {
 // fall within tol of the previous kept entry on the same strand — seeds
 // from the same alignment vote for positions that differ by the indel
 // offset, so tol is normally δ.
+//
+//repute:hotpath
 func DedupCandidates(cands []Candidate, tol int32) []Candidate {
 	if len(cands) == 0 {
 		return cands
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Strand != cands[j].Strand {
-			return cands[i].Strand < cands[j].Strand
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if a.Strand != b.Strand {
+			return int(a.Strand) - int(b.Strand)
 		}
-		return cands[i].Pos < cands[j].Pos
+		return cmp.Compare(a.Pos, b.Pos)
 	})
 	out := cands[:1]
 	for _, c := range cands[1:] {
@@ -223,6 +226,8 @@ type VerifyCost struct {
 // verified mappings (deduplicated by exact position and strand, sorted).
 // reads on the reverse strand are verified against the reverse-complement
 // pattern so the reported position stays in forward coordinates.
+//
+//repute:hotpath
 func (vs *VerifyState) Verify(text dna.PackedSeq, read []byte, cands []Candidate, maxDist, maxLoc int) ([]Mapping, VerifyCost) {
 	var out []Mapping
 	var cost VerifyCost
@@ -258,6 +263,7 @@ func (vs *VerifyState) Verify(text dna.PackedSeq, read []byte, cands []Candidate
 		if !ok {
 			continue
 		}
+		//pipevet:allow hotalloc -- verified mappings are the output, retained by the caller
 		out = append(out, Mapping{
 			Pos:    int32(lo + m.Start),
 			Strand: c.Strand,
@@ -270,18 +276,20 @@ func (vs *VerifyState) Verify(text dna.PackedSeq, read []byte, cands []Candidate
 
 // Finalize deduplicates, optionally keeps only the best stratum, sorts,
 // and applies the first-n location cap.
+//
+//repute:hotpath
 func Finalize(ms []Mapping, bestOnly bool, maxLoc int) []Mapping {
 	if len(ms) == 0 {
 		return ms
 	}
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Pos != ms[j].Pos {
-			return ms[i].Pos < ms[j].Pos
+	slices.SortFunc(ms, func(a, b Mapping) int {
+		if a.Pos != b.Pos {
+			return cmp.Compare(a.Pos, b.Pos)
 		}
-		if ms[i].Strand != ms[j].Strand {
-			return ms[i].Strand < ms[j].Strand
+		if a.Strand != b.Strand {
+			return int(a.Strand) - int(b.Strand)
 		}
-		return ms[i].Dist < ms[j].Dist
+		return cmp.Compare(a.Dist, b.Dist)
 	})
 	dedup := ms[:1]
 	for _, m := range ms[1:] {

@@ -32,10 +32,10 @@ type Event struct {
 // run.
 type Recorder struct {
 	mu       sync.Mutex
-	events   []Event
-	open     map[SpanID]int // open Begin spans -> index into events
-	nextID   SpanID
-	frontier map[string]float64
+	events   []Event            // guarded by mu
+	open     map[SpanID]int     // open Begin spans -> index into events; guarded by mu
+	nextID   SpanID             // guarded by mu
+	frontier map[string]float64 // guarded by mu
 	itemOps  *Histogram
 }
 

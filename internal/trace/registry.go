@@ -60,10 +60,10 @@ func (g *Gauge) Value() float64 {
 // part of the serial/parallel determinism contract.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds
-	counts []int64   // len(bounds)+1; last is overflow
-	count  int64
-	sum    float64
+	bounds []float64 // ascending upper bounds; immutable after construction
+	counts []int64   // len(bounds)+1; last is overflow; guarded by mu
+	count  int64     // guarded by mu
+	sum    float64   // guarded by mu
 }
 
 // TimeBuckets are the default upper bounds (simulated seconds) for
@@ -145,9 +145,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // and stable: repeated lookups of one name return the same handle.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
