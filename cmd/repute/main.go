@@ -34,6 +34,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/sam"
 	"repro/internal/seed"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -63,6 +65,8 @@ func main() {
 		err = runIndex(os.Args[2:])
 	case "map":
 		err = runMap(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -81,7 +85,8 @@ func usage() {
 subcommands:
   index build  -ref ref.fa -out ref.ridx [-sa-rate N] [-shards K -overlap N]
   index info   -index ref.ridx
-  map          {-index ref.ridx | -ref ref.fa} -reads reads.fq [flags]`)
+  map          {-index ref.ridx | -ref ref.fa} -reads reads.fq [flags]
+  serve        -index ref.ridx -spool DIR [-addr :8377] [flags]`)
 }
 
 func runIndex(args []string) error {
@@ -376,6 +381,13 @@ func runMap(args []string) error {
 	}
 
 	if streaming {
+		if *ckptFlag != "" {
+			// Fail on an unusable checkpoint directory now, before any
+			// mapping work, instead of at the first batch-boundary Save.
+			if err := checkpoint.CheckDir(filepath.Dir(*ckptFlag)); err != nil {
+				return err
+			}
+		}
 		extras := []string{
 			fmt.Sprintf("batch=%d", *batchFlag), fmt.Sprintf("lenient=%t", *lenientFlag),
 			fmt.Sprintf("cigar=%t", *cigarFlag), "selector=" + *selector,
@@ -458,7 +470,7 @@ func runMap(args []string) error {
 	}
 	dropped := 0
 	for i, rec := range recs {
-		n, err := writeReadAlignments(sw, g, p, rec.Name, reads[i], res.Mappings[i],
+		n, err := serve.WriteReadAlignments(sw, g, p, rec.Name, reads[i], res.Mappings[i],
 			*cigarFlag, *errorsFlag)
 		if err != nil {
 			return err
@@ -481,48 +493,6 @@ func runMap(args []string) error {
 		fmt.Fprintf(os.Stderr, "  %-32s %.3f s busy\n", dev, sec)
 	}
 	return writeTrace(rec, *tracePath)
-}
-
-// writeReadAlignments emits one read's SAM record(s), translating global
-// mapping positions to per-contig coordinates. Alignments straddling a
-// contig boundary are concatenation artefacts and are dropped; the count
-// of dropped alignments is returned. Shared by the in-memory and the
-// streaming map paths so both emit byte-identical records.
-func writeReadAlignments(sw *sam.Writer, g *genome.Genome, p *core.Pipeline,
-	name string, read []byte, ms []mapper.Mapping, cigar bool, maxErrors int) (int, error) {
-	dropped := 0
-	var alns []sam.Alignment
-	for _, m := range ms {
-		if g.SpansBoundary(int(m.Pos), len(read)) {
-			dropped++
-			continue
-		}
-		contig, off, err := g.Locate(int(m.Pos))
-		if err != nil {
-			return dropped, err
-		}
-		aln := sam.Alignment{
-			RName:  contig.Name,
-			Pos:    int32(off),
-			Strand: m.Strand,
-			Dist:   m.Dist,
-		}
-		if len(alns) == 0 {
-			aln.MAPQ = mapper.EstimateMAPQ(ms)
-		}
-		if cigar {
-			c, err := p.CigarFor(read, m, maxErrors)
-			if err != nil {
-				return dropped, fmt.Errorf("read %s: %w", name, err)
-			}
-			aln.Cigar = c.String()
-		}
-		alns = append(alns, aln)
-	}
-	if err := sw.WriteAlignments(name, []byte(dna.Decode(read)), alns); err != nil {
-		return dropped, err
-	}
-	return dropped, nil
 }
 
 // writeTrace validates and exports the recorded trace, if recording was

@@ -10,6 +10,7 @@ package main
 // (DESIGN.md §11).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/genome"
 	"repro/internal/mapper"
 	"repro/internal/sam"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -172,7 +174,7 @@ func runMapStream(p *core.Pipeline, g *genome.Genome, cfg streamConfig) error {
 
 	emit := func(b core.StreamBatch, res *mapper.Result) error {
 		for i, name := range b.Names {
-			dropped, err := writeReadAlignments(sw, g, p, name, b.Reads[i],
+			dropped, err := serve.WriteReadAlignments(sw, g, p, name, b.Reads[i],
 				res.Mappings[i], cfg.cigar, cfg.opt.MaxErrors)
 			if err != nil {
 				return err
@@ -229,7 +231,7 @@ func runMapStream(p *core.Pipeline, g *genome.Genome, cfg streamConfig) error {
 		return nil
 	}
 
-	sr, err := p.MapStream(src, cfg.opt, emit)
+	sr, err := p.MapStream(context.Background(), src, cfg.opt, emit)
 	interrupted := err == core.Stop
 	if err != nil && !interrupted {
 		return err

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cl"
 	"repro/internal/fmindex"
@@ -132,8 +133,69 @@ func FingerprintDigest(digest [32]byte, opt mapper.Options, extra ...string) str
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// Save writes the checkpoint atomically: marshal, write to a temp file
-// in the same directory, fsync, rename over path. Equal states produce
+// DirError reports a checkpoint directory that cannot hold checkpoints —
+// missing, not a directory, or not writable. CheckDir returns it at
+// startup so a run fails before mapping work begins, not on the first
+// batch-boundary Save.
+type DirError struct {
+	Dir string // the offending directory
+	Err error  // the underlying cause
+}
+
+func (e *DirError) Error() string {
+	return fmt.Sprintf("checkpoint: directory %s unusable: %v", e.Dir, e.Err)
+}
+
+func (e *DirError) Unwrap() error { return e.Err }
+
+// CheckDir probes that dir exists, is a directory, and is writable by
+// creating and removing a temp file — the same operations Save will
+// perform. A failure comes back as a typed *DirError.
+func CheckDir(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return &DirError{Dir: dir, Err: err}
+	}
+	if !fi.IsDir() {
+		return &DirError{Dir: dir, Err: fmt.Errorf("not a directory")}
+	}
+	f, err := os.CreateTemp(dir, ".ckpt-probe-*")
+	if err != nil {
+		return &DirError{Dir: dir, Err: err}
+	}
+	name := f.Name()
+	f.Close()
+	if err := os.Remove(name); err != nil {
+		return &DirError{Dir: dir, Err: err}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss; filesystems that reject directory fsync (some network mounts)
+// are tolerated, matching the usual write-ahead-log practice.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (os.IsPermission(err) || os.IsNotExist(err)) {
+		return err
+	}
+	// EINVAL/ENOTSUP from Sync on exotic filesystems: the rename itself
+	// still happened; treat as best-effort.
+	return nil
+}
+
+// Save writes the checkpoint atomically and durably: marshal, write to
+// a temp file in the same directory, fsync, rename over path, then
+// fsync the parent directory so the new directory entry itself is on
+// disk — without that last step a power cut after the rename can roll
+// the directory back to the old entry (or none). Equal states produce
 // byte-identical files.
 func Save(path string, st *State) error {
 	b, err := json.MarshalIndent(st, "", "  ")
@@ -162,6 +224,9 @@ func Save(path string, st *State) error {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil

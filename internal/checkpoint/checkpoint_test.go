@@ -162,3 +162,77 @@ func TestSaveIsAtomic(t *testing.T) {
 		t.Error("temp file left behind after rename")
 	}
 }
+
+func TestCheckDir(t *testing.T) {
+	t.Run("good", func(t *testing.T) {
+		if err := CheckDir(t.TempDir()); err != nil {
+			t.Fatalf("CheckDir on a writable temp dir: %v", err)
+		}
+	})
+
+	t.Run("missing", func(t *testing.T) {
+		err := CheckDir(filepath.Join(t.TempDir(), "nope"))
+		var de *DirError
+		if !errors.As(err, &de) {
+			t.Fatalf("err = %v, want *DirError", err)
+		}
+		if !os.IsNotExist(de.Err) {
+			t.Errorf("cause = %v, want not-exist", de.Err)
+		}
+	})
+
+	t.Run("not a directory", func(t *testing.T) {
+		file := filepath.Join(t.TempDir(), "plain")
+		if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := CheckDir(file)
+		var de *DirError
+		if !errors.As(err, &de) {
+			t.Fatalf("err = %v, want *DirError", err)
+		}
+		if de.Dir != file {
+			t.Errorf("DirError.Dir = %q, want %q", de.Dir, file)
+		}
+	})
+
+	t.Run("probe leaves no residue", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := CheckDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Errorf("probe left %d entries behind", len(ents))
+		}
+	})
+}
+
+// TestSaveSyncsDirectory can't force a power cut, but it can at least
+// pin that Save still works when the parent directory requires an
+// explicit open to sync — and that a Save into a directory removed
+// out from under it fails rather than silently dropping durability.
+func TestSaveSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := Save(path, &State{Version: Version, Fingerprint: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+
+	gone := filepath.Join(dir, "sub")
+	if err := os.Mkdir(gone, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(gone); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(filepath.Join(gone, "run.ckpt"), &State{Version: Version}); err == nil {
+		t.Error("Save into a removed directory succeeded")
+	}
+}

@@ -10,6 +10,7 @@ package core
 // producer from racing ahead of the mappers. DESIGN.md §11.
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/fastx"
@@ -75,6 +76,14 @@ const streamAhead = 1
 // per-batch result to emit, in input order. src runs in its own
 // goroutine, at most streamAhead batches ahead of the mappers.
 //
+// ctx bounds the whole run: when it is cancelled (a per-job deadline, a
+// caller tearing the stream down mid-Map), MapStream stops before the
+// next batch and returns ctx.Err() with the aggregate so far. The
+// producer goroutine is cancelled on every exit path — emit errors and
+// context cancellation included — never left blocked on the batch
+// channel; TestMapStreamProducerExits pins this with goroutine-count
+// assertions under -race.
+//
 // emit is called after the batch's mappings are complete; returning an
 // error stops the run (the sentinel Stop marks a deliberate graceful
 // stop and is returned as-is). emit may be nil when only the aggregate
@@ -85,7 +94,10 @@ const streamAhead = 1
 // the pipeline's trace origin — a streamed run's mappings, metrics and
 // simulated totals are bit-identical to mapping the same batches from
 // memory (asserted by TestMapStreamMatchesInMemory).
-func (p *Pipeline) MapStream(src func() (StreamBatch, error), opt mapper.Options, emit func(StreamBatch, *mapper.Result) error) (*StreamResult, error) {
+func (p *Pipeline) MapStream(ctx context.Context, src func() (StreamBatch, error), opt mapper.Options, emit func(StreamBatch, *mapper.Result) error) (*StreamResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type produced struct {
 		b   StreamBatch
 		err error
@@ -101,15 +113,31 @@ func (p *Pipeline) MapStream(src func() (StreamBatch, error), opt mapper.Options
 			case ch <- produced{b, err}:
 			case <-done:
 				return
+			case <-ctx.Done():
+				return
 			}
 			if err != nil || len(b.Reads) == 0 {
 				return
+			}
+			// A parsed batch may have been handed over at the same moment
+			// cancellation landed (select picks ready cases at random);
+			// re-checking here keeps the producer from parsing ahead of a
+			// consumer that will never drain the channel.
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			default:
 			}
 		}
 	}()
 
 	sr := &StreamResult{Result: mapper.Result{DeviceSeconds: map[string]float64{}}}
 	for pr := range ch {
+		if err := ctx.Err(); err != nil {
+			return sr, err
+		}
 		if pr.err != nil {
 			return sr, pr.err
 		}
@@ -153,6 +181,12 @@ func (p *Pipeline) MapStream(src func() (StreamBatch, error), opt mapper.Options
 				return sr, err
 			}
 		}
+	}
+	// The producer exits (closing ch) on cancellation as well as on EOF;
+	// a run that ended because ctx fired must report the cancellation even
+	// when the consumer never saw another batch.
+	if err := ctx.Err(); err != nil {
+		return sr, err
 	}
 	return sr, nil
 }

@@ -2,11 +2,14 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cl"
 	"repro/internal/fastx"
@@ -88,7 +91,7 @@ func TestMapStreamMatchesInMemory(t *testing.T) {
 				t.Fatal(err)
 			}
 			var streamMaps [][]mapper.Mapping
-			sr, err := ps.MapStream(sliceSource(set.Reads, batch), opt,
+			sr, err := ps.MapStream(context.Background(), sliceSource(set.Reads, batch), opt,
 				func(b StreamBatch, res *mapper.Result) error {
 					streamMaps = append(streamMaps, res.Mappings...)
 					return nil
@@ -154,7 +157,7 @@ func TestMapStreamStop(t *testing.T) {
 	}
 	opt := mapper.Options{MaxErrors: 4, MaxLocations: 50}
 	batches := 0
-	sr, err := p.MapStream(sliceSource(set.Reads, 10), opt,
+	sr, err := p.MapStream(context.Background(), sliceSource(set.Reads, 10), opt,
 		func(b StreamBatch, res *mapper.Result) error {
 			batches++
 			if batches == 2 {
@@ -203,7 +206,7 @@ func TestMapStreamScanSourceLenient(t *testing.T) {
 		fastx.ScanOptions{Format: fastx.FormatFASTQ, Lenient: true, Name: "dirty.fq", Tracer: rec})
 	src := NewScanSource(sc, fastx.NewCodec(0), 7, true, opt.MaxErrors, 0)
 
-	sr, err := p.MapStream(src, opt, nil)
+	sr, err := p.MapStream(context.Background(), src, opt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,8 +247,90 @@ func TestMapStreamSourceError(t *testing.T) {
 	sc := fastx.NewScanner(strings.NewReader("@r\nACGT\n+\nIII\n"),
 		fastx.ScanOptions{Format: fastx.FormatFASTQ})
 	src := NewScanSource(sc, fastx.NewCodec(0), 4, false, 1, 0)
-	_, err = p.MapStream(src, mapper.Options{MaxErrors: 1}, nil)
+	_, err = p.MapStream(context.Background(), src, mapper.Options{MaxErrors: 1}, nil)
 	if err == nil || !strings.Contains(err.Error(), "length-mismatch") {
 		t.Errorf("want length-mismatch parse error, got %v", err)
 	}
+}
+
+// countStreamGoroutines waits (tolerating scheduler lag) for every
+// MapStream producer goroutine to exit, and returns how many remain.
+// Counting producers by stack frame rather than comparing raw
+// runtime.NumGoroutine keeps the assertion immune to unrelated runtime
+// or test-harness goroutines starting lazily mid-test.
+func countStreamGoroutines() int {
+	producers := func() int {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		return strings.Count(stacks, ").MapStream.func")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	n := producers()
+	for n > 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = producers()
+	}
+	return n
+}
+
+// TestMapStreamProducerExits is the producer-goroutine lifecycle
+// regression test: on every early exit path — an emit callback failing
+// mid-run, a context cancelled while batches are still queued — the
+// producer goroutine must terminate rather than stay blocked on the
+// capacity-1 batch channel. CI runs this under -race.
+func TestMapStreamProducerExits(t *testing.T) {
+	ref, set := testWorld(t, 20_000, 40, simulate.ERR012100)
+	p, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := mapper.Options{MaxErrors: 4, MaxLocations: 50}
+
+	t.Run("emit error", func(t *testing.T) {
+		boom := errors.New("emit failed")
+		for i := 0; i < 10; i++ {
+			_, err := p.MapStream(context.Background(), sliceSource(set.Reads, 5), opt,
+				func(b StreamBatch, res *mapper.Result) error { return boom })
+			if err != boom {
+				t.Fatalf("err = %v, want emit error", err)
+			}
+		}
+		if n := countStreamGoroutines(); n > 0 {
+			t.Errorf("%d producer goroutine(s) alive after emit-error exits", n)
+		}
+	})
+
+	t.Run("context cancelled", func(t *testing.T) {
+		for i := 0; i < 10; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			_, err := p.MapStream(ctx, sliceSource(set.Reads, 5), opt,
+				func(b StreamBatch, res *mapper.Result) error {
+					cancel()
+					return nil
+				})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		}
+		if n := countStreamGoroutines(); n > 0 {
+			t.Errorf("%d producer goroutine(s) alive after cancelled runs", n)
+		}
+	})
+
+	t.Run("pre-cancelled context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		sr, err := p.MapStream(ctx, sliceSource(set.Reads, 5), opt, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if sr.Batches != 0 {
+			t.Errorf("pre-cancelled run mapped %d batches, want 0", sr.Batches)
+		}
+		if n := countStreamGoroutines(); n > 0 {
+			t.Errorf("%d producer goroutine(s) alive after pre-cancelled run", n)
+		}
+	})
 }

@@ -1,0 +1,355 @@
+package serve
+
+// The scheduler and per-job runner. One runner goroutine drains the
+// FIFO queue, so jobs on the shared device pool execute in admission
+// order — fairness by construction — and every job gets the pool to
+// itself while it runs. Fault isolation follows from the same shape:
+// a job's fault plan (X-Repute-Faults) is installed on the devices just
+// before its attempt and unconditionally disarmed after, so an injected
+// device loss dies with the job that asked for it and the next job sees
+// a healthy pool.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cl"
+	"repro/internal/core"
+	"repro/internal/fastx"
+	"repro/internal/mapper"
+	"repro/internal/sam"
+	"repro/internal/seed"
+	"repro/internal/trace"
+)
+
+// runner is the single scheduler goroutine: pop the oldest queued job,
+// run it, repeat; block on wake when idle; exit on stop. It never exits
+// mid-attempt — drain interrupts the attempt at a batch boundary via
+// the emit callback, and only then does the loop observe stop.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		job, ok := s.store.dequeue()
+		if !ok {
+			s.updateGauges()
+			select {
+			case <-s.wake:
+			case <-s.stopCh:
+				return
+			}
+			continue
+		}
+		s.updateGauges()
+		s.runJob(job)
+		s.updateGauges()
+	}
+}
+
+// runJob executes one attempt of a job and applies the outcome to the
+// job state machine: success → done, drain stop → interrupted
+// (resumable), deadline → failed (no retry), anything else → requeue
+// while the retry budget lasts, then failed with the typed cl error.
+func (s *Server) runJob(job Job) {
+	rec := trace.NewRecorder()
+	s.setRecorder(job.ID, rec)
+
+	err := s.runAttempt(job, rec)
+
+	// The attempt's metrics fold into the service registry exactly once
+	// per attempt, whatever the outcome — a failed attempt's retries and
+	// injected faults are part of the service's story too.
+	if aerr := s.reg.Apply(rec.Metrics()); aerr != nil && err == nil {
+		err = aerr
+	}
+
+	switch {
+	case err == nil:
+		j, _ := s.store.update(job.ID, func(j *Job) {
+			j.State = StateDone
+			j.Resumable = false
+			j.Error = nil
+		})
+		s.reg.Counter(metricJobsCompleted).Add(1)
+		s.reg.Histogram(metricJobSimSeconds, trace.TimeBuckets()).Observe(j.SimSeconds)
+	case errors.Is(err, core.Stop):
+		s.store.update(job.ID, func(j *Job) { //nolint:errcheck
+			j.State = StateInterrupted
+			j.Resumable = true
+		})
+		s.reg.Counter(metricJobsInterrupted).Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.store.update(job.ID, func(j *Job) { //nolint:errcheck
+			j.State = StateFailed
+			j.Error = &JobError{Kind: "deadline", Message: fmt.Sprintf("deadline %d ms exceeded", j.DeadlineMS)}
+		})
+		s.reg.Counter(metricJobsFailed).Add(1)
+	default:
+		// Bad input never improves on retry; everything else may (transient
+		// resource pressure, injected chaos) and earns the budget.
+		if job.Attempts <= s.cfg.RetryBudget && !errors.Is(err, errBadInput) {
+			s.store.requeue(job.ID) //nolint:errcheck
+			s.reg.Counter(metricJobsRetried).Add(1)
+			return
+		}
+		kind := "internal"
+		if errors.Is(err, errBadInput) {
+			kind = "input"
+		}
+		s.store.update(job.ID, func(j *Job) { //nolint:errcheck
+			j.State = StateFailed
+			j.Error = classifyError(kind, err)
+		})
+		s.reg.Counter(metricJobsFailed).Add(1)
+	}
+}
+
+// errBadInput marks failures caused by the job's own payload (reads
+// that don't parse), which classify as "input" rather than "internal".
+var errBadInput = errors.New("serve: bad input")
+
+// runAttempt runs one MapStream pass over the job's spooled reads,
+// resuming from the job's checkpoint when one exists. It is the service
+// counterpart of the CLI's streaming loop and shares its invariants:
+// SAM truncated to the checkpointed prefix, scanner seeked to the
+// checkpointed offset, codec fast-forwarded, fault ordinals restored —
+// so a resumed job is bit-identical to an uninterrupted one.
+func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
+	p, err := s.newPipeline(rec)
+	if err != nil {
+		return err
+	}
+	opt := mapper.Options{MaxErrors: s.cfg.MaxErrors, MaxLocations: s.cfg.MaxLocations}
+	fingerprint := checkpoint.FingerprintDigest(s.digest, opt,
+		fmt.Sprintf("batch=%d", job.Batch),
+		fmt.Sprintf("cigar=%t", job.Cigar),
+		"faults="+job.Faults,
+	)
+
+	ckptPath := s.store.ckptPath(job.ID)
+	st := &checkpoint.State{
+		Version:       checkpoint.Version,
+		Fingerprint:   fingerprint,
+		BatchSize:     job.Batch,
+		DeviceSeconds: map[string]float64{},
+	}
+	resume := false
+	if _, serr := os.Stat(ckptPath); serr == nil {
+		loaded, lerr := checkpoint.Load(ckptPath)
+		if lerr != nil {
+			return lerr
+		}
+		if verr := loaded.Verify(fingerprint); verr != nil {
+			return verr
+		}
+		st = loaded
+		if st.DeviceSeconds == nil {
+			st.DeviceSeconds = map[string]float64{}
+		}
+		resume = true
+		s.reg.Counter(metricJobsResumed).Add(1)
+	}
+
+	// Per-job chaos: install the job's fault plan with fresh ordinals
+	// (or the checkpointed ones on resume), and always disarm afterwards
+	// — an injected device loss must never outlive the job that carried
+	// it, and the next job must start from a healthy pool.
+	if job.Faults != "" {
+		plan, perr := cl.ParseFaultPlan(job.Faults)
+		if perr != nil {
+			return fmt.Errorf("%w: %w", errBadInput, perr)
+		}
+		for _, d := range s.devices {
+			d.InstallFaults(plan)
+			if o, ok := st.FaultOrdinals[d.Name]; resume && ok {
+				d.RestoreFaultOrdinals(o)
+			}
+		}
+	}
+	defer func() {
+		for _, d := range s.devices {
+			d.InstallFaults(nil)
+		}
+	}()
+
+	// Output SAM: fresh attempts write a headered file; resumes truncate
+	// to the checkpointed prefix and append.
+	refs := make([]sam.RefSeq, len(s.g.Contigs()))
+	for i, c := range s.g.Contigs() {
+		refs[i] = sam.RefSeq{Name: c.Name, Length: c.Length}
+	}
+	samPath := s.store.samPath(job.ID)
+	var (
+		out *os.File
+		sw  *sam.Writer
+	)
+	if resume {
+		out, err = os.OpenFile(samPath, os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := out.Truncate(st.SAMBytes); err != nil {
+			out.Close()
+			return err
+		}
+		if _, err := out.Seek(st.SAMBytes, io.SeekStart); err != nil {
+			out.Close()
+			return err
+		}
+		sw = sam.NewAppendWriter(out, refs[0].Name)
+	} else {
+		out, err = os.Create(samPath)
+		if err != nil {
+			return err
+		}
+		if sw, err = sam.NewMultiWriter(out, refs); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	defer out.Close()
+
+	rf, err := os.Open(s.store.readsPath(job.ID))
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	if _, err := rf.Seek(st.Offset, io.SeekStart); err != nil {
+		return err
+	}
+	sc := fastx.NewScanner(rf, fastx.ScanOptions{
+		Format:     fastx.FormatFASTQ,
+		Name:       job.ID + "/reads.fq",
+		Tracer:     rec,
+		BaseOffset: st.Offset,
+		BaseLine:   st.Line,
+	})
+	codec := fastx.NewCodec(0)
+	codec.FastForward(st.RNGDraws)
+	src := core.NewScanSource(sc, codec, job.Batch, false, opt.MaxErrors, st.Reads)
+
+	ctx := context.Background()
+	if job.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	emit := func(b core.StreamBatch, res *mapper.Result) error {
+		for i, name := range b.Names {
+			dropped, werr := WriteReadAlignments(sw, s.g, p, name, b.Reads[i],
+				res.Mappings[i], job.Cigar, opt.MaxErrors)
+			if werr != nil {
+				return werr
+			}
+			st.Dropped += dropped
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+		pos, err := out.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+
+		st.Batches++
+		st.Reads = b.Start + len(b.Reads)
+		for _, ms := range res.Mappings {
+			if len(ms) > 0 {
+				st.Mapped++
+			}
+			st.Locations += len(ms)
+		}
+		st.SimSeconds += res.SimSeconds
+		st.EnergyJ += res.EnergyJ
+		for dev, sec := range res.DeviceSeconds {
+			st.DeviceSeconds[dev] += sec
+		}
+		st.Cost.Add(res.Cost)
+		st.Faults.Add(res.Faults)
+		st.Offset = b.Token.Offset
+		st.Line = b.Token.Line
+		st.RNGDraws = b.Token.RNGDraws
+		st.SAMBytes = pos
+		st.FaultOrdinals = snapshotOrdinals(s.devices)
+
+		if err := checkpoint.Save(ckptPath, st); err != nil {
+			return err
+		}
+		s.store.update(job.ID, func(j *Job) { //nolint:errcheck
+			j.Reads = st.Reads
+			j.Mapped = st.Mapped
+			j.Locations = st.Locations
+			j.SimSeconds = st.SimSeconds
+			j.Resumable = true
+		})
+		if s.cfg.StepDelay > 0 {
+			time.Sleep(s.cfg.StepDelay)
+		}
+		if s.draining.Load() {
+			return core.Stop
+		}
+		return nil
+	}
+
+	_, err = p.MapStream(ctx, src, opt, emit)
+	if err != nil {
+		var pe *fastx.ParseError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%w: %w", errBadInput, err)
+		}
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if pos, perr := out.Seek(0, io.SeekCurrent); perr == nil {
+		st.SAMBytes = pos
+	}
+	return checkpoint.Save(ckptPath, st)
+}
+
+// newPipeline wires a per-job pipeline over the shared index and device
+// pool. The pipeline itself is cheap scaffolding — the FM-indexes and
+// the devices are shared; only the tracer hookup is per job.
+func (s *Server) newPipeline(rec *trace.Recorder) (*core.Pipeline, error) {
+	cfg := core.Config{Name: "REPUTE", Selector: seed.REPUTE{}, Tracer: rec}
+	if s.file.Meta.Sharded() {
+		shards := make([]core.Shard, len(s.file.Indexes))
+		for i, sh := range s.file.Meta.Shards {
+			shards[i] = core.Shard{
+				Index:      s.file.Indexes[i],
+				OwnStart:   sh.OwnStart,
+				OwnEnd:     sh.OwnEnd,
+				SliceStart: sh.SliceStart,
+				SliceEnd:   sh.SliceEnd,
+			}
+		}
+		return core.NewSharded(shards, s.file.Meta.Overlap, s.devices, cfg)
+	}
+	return core.NewFromIndex(s.file.Indexes[0], s.devices, cfg)
+}
+
+// snapshotOrdinals captures every armed device's fault ordinals for the
+// checkpoint, mirroring the CLI's streaming loop.
+func snapshotOrdinals(devices []*cl.Device) map[string]cl.FaultOrdinals {
+	var m map[string]cl.FaultOrdinals
+	for _, d := range devices {
+		if o, ok := d.FaultOrdinals(); ok {
+			if m == nil {
+				m = map[string]cl.FaultOrdinals{}
+			}
+			m[d.Name] = o
+		}
+	}
+	return m
+}

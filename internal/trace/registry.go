@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -60,7 +61,7 @@ func (g *Gauge) Value() float64 {
 // part of the serial/parallel determinism contract.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; immutable after construction
+	bounds []float64 // guarded by mu; ascending upper bounds, grown only by applySnapshot
 	counts []int64   // len(bounds)+1; last is overflow; guarded by mu
 	count  int64     // guarded by mu
 	sum    float64   // guarded by mu
@@ -121,6 +122,62 @@ func (h *Histogram) copyFrom(src *Histogram) {
 	copy(h.counts, counts)
 	h.count, h.sum = count, sum
 	h.mu.Unlock()
+}
+
+// applySnapshot folds a snapshot's observations into h. Snapshots omit
+// empty buckets, so two snapshots of identically-bounded histograms can
+// expose disjoint bound sets; bounds h has never seen are inserted
+// rather than rejected, which keeps every count attached to its
+// original bucket.
+func (h *Histogram) applySnapshot(hs HistogramSnapshot) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, b := range hs.Buckets {
+		var i int
+		if b.LE == "+Inf" {
+			i = len(h.bounds)
+		} else {
+			v, err := strconv.ParseFloat(b.LE, 64)
+			if err != nil {
+				return fmt.Errorf("bad bucket bound %q: %w", b.LE, err)
+			}
+			// Grow a new zero bucket when v is an unseen bound; insertion
+			// keeps the bounds sorted and shifts the existing counts
+			// (including overflow) along with their bounds.
+			i = sort.SearchFloat64s(h.bounds, v)
+			if i == len(h.bounds) || h.bounds[i] != v {
+				h.bounds = append(h.bounds, 0)
+				copy(h.bounds[i+1:], h.bounds[i:])
+				h.bounds[i] = v
+				h.counts = append(h.counts, 0)
+				copy(h.counts[i+1:], h.counts[i:])
+				h.counts[i] = 0
+			}
+		}
+		h.counts[i] += b.Count
+	}
+	h.count += hs.Count
+	h.sum += hs.Sum
+	return nil
+}
+
+// bounds recovers the finite bucket bounds present in the snapshot
+// (empty buckets are omitted, so this is a lower bound on the source
+// histogram's bounds — enough to re-create a compatible histogram).
+func (hs HistogramSnapshot) bounds() ([]float64, error) {
+	var b []float64
+	for _, bk := range hs.Buckets {
+		if bk.LE == "+Inf" {
+			continue
+		}
+		v, err := strconv.ParseFloat(bk.LE, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bucket bound %q: %w", bk.LE, err)
+		}
+		b = append(b, v)
+	}
+	sort.Float64s(b)
+	return b, nil
 }
 
 // snapshot returns the histogram's state as a HistogramSnapshot.
@@ -256,6 +313,47 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// Apply folds a snapshot into the registry: counter values add onto the
+// registry's counters, gauge values overwrite, histogram buckets and
+// sums accumulate (new histograms are created from the snapshot's own
+// bucket bounds; existing ones must contain every applied bound). It is
+// the aggregation half of the per-job metrics design: each job runs
+// against its own Recorder, and the job's final Snapshot is folded into
+// the long-lived service registry exactly once — so a job's metrics
+// appear atomically, and two registries fed the same snapshots in the
+// same order serialise byte-identically.
+func (r *Registry) Apply(s Snapshot) error {
+	// Sorted iteration keeps handle creation deterministic (Apply's
+	// effect is order-independent, but get-or-create is a side effect).
+	for _, name := range sortedKeys(s.Counters) {
+		r.Counter(name).Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		r.Gauge(name).Set(s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		bounds, err := hs.bounds()
+		if err != nil {
+			return fmt.Errorf("trace: apply histogram %s: %w", name, err)
+		}
+		if err := r.Histogram(name, bounds).applySnapshot(hs); err != nil {
+			return fmt.Errorf("trace: apply histogram %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 // WriteJSON writes the snapshot as indented JSON. Map keys are emitted

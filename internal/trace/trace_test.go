@@ -345,3 +345,103 @@ func TestRecorderConcurrentLanes(t *testing.T) {
 		prev[ev.Lane] = ev.Start
 	}
 }
+
+func TestRegistryApply(t *testing.T) {
+	// Two source registries standing in for two jobs' recorders.
+	job := func(retries int64, busy float64, obs []float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("retries_total/oor").Add(retries)
+		r.Gauge("device_busy_seconds/cpu").Set(busy)
+		h := r.Histogram("batch_sim_seconds", TimeBuckets())
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	s1 := job(2, 1.5, []float64{3e-4, 0.2})
+	s2 := job(3, 4.0, []float64{0.5, 250}) // 250 overflows TimeBuckets
+
+	dst := NewRegistry()
+	if err := dst.Apply(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Apply(s2); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := dst.Counter("retries_total/oor").Value(); got != 5 {
+		t.Errorf("counter folded to %d, want 5 (sum of jobs)", got)
+	}
+	if got := dst.Gauge("device_busy_seconds/cpu").Value(); got != 4.0 {
+		t.Errorf("gauge folded to %v, want 4.0 (last applied wins)", got)
+	}
+	h := dst.Histogram("batch_sim_seconds", TimeBuckets())
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if want := 3e-4 + 0.2 + 0.5 + 250; h.Sum() != want {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+	hs := h.snapshot()
+	var overflow int64
+	for _, b := range hs.Buckets {
+		if b.LE == "+Inf" {
+			overflow = b.Count
+		}
+	}
+	if overflow != 1 {
+		t.Errorf("overflow bucket = %d, want 1", overflow)
+	}
+
+	// Determinism: two registries fed the same snapshots serialise
+	// byte-identically.
+	other := NewRegistry()
+	if err := other.Apply(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Apply(s2); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := dst.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	// Snapshots omit empty buckets, so a bound the destination has never
+	// seen is legitimate: it must merge as a new bucket, not misbucket or
+	// fail.
+	extra := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"batch_sim_seconds": {Count: 1, Sum: 7, Buckets: []BucketSnapshot{{LE: "7", Count: 1}}},
+	}}
+	if err := dst.Apply(extra); err != nil {
+		t.Fatalf("Apply with an unseen bucket bound: %v", err)
+	}
+	if h.Count() != 5 {
+		t.Errorf("histogram count after merge = %d, want 5", h.Count())
+	}
+	var at7, inf int64
+	for _, b := range h.snapshot().Buckets {
+		switch b.LE {
+		case "7":
+			at7 = b.Count
+		case "+Inf":
+			inf = b.Count
+		}
+	}
+	if at7 != 1 || inf != 1 {
+		t.Errorf("merged buckets: le=7 count %d (want 1), overflow %d (want 1)", at7, inf)
+	}
+	// A malformed bound is still a typed failure.
+	bad := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"batch_sim_seconds": {Count: 1, Sum: 1, Buckets: []BucketSnapshot{{LE: "seven", Count: 1}}},
+	}}
+	if err := dst.Apply(bad); err == nil {
+		t.Error("Apply with a malformed bucket bound succeeded")
+	}
+}
