@@ -10,10 +10,11 @@
 // explicitly: "ablations" (design-choice quantification), "faults" (the
 // fault-injection recovery sweep), "trace" (an instrumented System 1
 // run whose Chrome trace -trace-out writes for chrome://tracing or
-// Perfetto) and "index" (the artifact load-vs-rebuild measurement;
-// -index-out writes its JSON, see BENCH_index.json). -out writes the
-// full markdown report (EXPERIMENTS.md form) in addition to the console
-// tables.
+// Perfetto), "index" (the artifact load-vs-rebuild measurement;
+// -index-out writes its JSON, see BENCH_index.json) and "prefilter" (the
+// pre-alignment filter ablation; -prefilter-out writes its JSON, see
+// BENCH_prefilter.json). -out writes the full markdown report
+// (EXPERIMENTS.md form) in addition to the console tables.
 package main
 
 import (
@@ -33,15 +34,16 @@ func main() {
 	jsonFlag := flag.String("json", "", "also write the full report as JSON to this file (requires -run all)")
 	traceOutFlag := flag.String("trace-out", "trace.json", "Chrome trace output path for -run trace")
 	indexOutFlag := flag.String("index-out", "", "JSON output path for -run index (e.g. BENCH_index.json)")
+	prefilterOutFlag := flag.String("prefilter-out", "", "JSON output path for -run prefilter (e.g. BENCH_prefilter.json)")
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag, *indexOutFlag); err != nil {
+	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag, *indexOutFlag, *prefilterOutFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, indexOut string) error {
+func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, indexOut, prefilterOut string) error {
 	sc, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -194,6 +196,28 @@ func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, ind
 				return err
 			}
 			fmt.Printf("wrote index benchmark JSON to %s\n", indexOut)
+		}
+		ran = true
+	}
+	if sel("prefilter") {
+		b, err := bench.RunPrefilterBench(ds)
+		if err != nil {
+			return err
+		}
+		b.Render(os.Stdout)
+		if prefilterOut != "" {
+			f, err := os.Create(prefilterOut)
+			if err != nil {
+				return err
+			}
+			if err := b.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote prefilter ablation JSON to %s\n", prefilterOut)
 		}
 		ran = true
 	}

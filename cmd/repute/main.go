@@ -9,7 +9,7 @@
 //	repute index info  -index ref.ridx
 //	repute map {-index ref.ridx | -ref ref.fa} -reads reads.fq [-e 5] [-smin 0]
 //	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
-//	           [-max-locations 100] [-selector dp|coral] [-out out.sam]
+//	           [-max-locations 100] [-selector dp|coral] [-prefilter off|gatekeeper] [-out out.sam]
 //	           [-trace trace.json]
 //	           [-batch 4096 [-lenient] [-checkpoint run.ckpt [-resume]]]
 //
@@ -263,6 +263,7 @@ func runMap(args []string) error {
 	splitFlag := fs.String("split", "", "per-device workload split, e.g. 0.52,0.24,0.24")
 	maxLoc := fs.Int("max-locations", 100, "first-n locations reported per read")
 	selector := fs.String("selector", "dp", "filtration: dp (REPUTE) or coral (heuristic)")
+	prefilterFlag := fs.String("prefilter", "off", "pre-alignment filter before verification: off or gatekeeper")
 	cigarFlag := fs.Bool("cigar", false, "recover CIGAR strings for reported mappings")
 	outPath := fs.String("out", "", "SAM output path (default stdout)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the simulated run (chrome://tracing, Perfetto)")
@@ -311,6 +312,11 @@ func runMap(args []string) error {
 		sel, name = seed.CORAL{}, "CORAL"
 	default:
 		return fmt.Errorf("unknown selector %q (dp, coral)", *selector)
+	}
+	switch *prefilterFlag {
+	case mapper.PrefilterOff, mapper.PrefilterGateKeeper:
+	default:
+		return fmt.Errorf("unknown prefilter %q (off, gatekeeper)", *prefilterFlag)
 	}
 	cfg := core.Config{Name: name, Selector: sel, Split: split}
 	var rec *trace.Recorder
@@ -378,6 +384,7 @@ func runMap(args []string) error {
 		MaxErrors:    *errorsFlag,
 		MaxLocations: *maxLoc,
 		MinSeedLen:   *sminFlag,
+		Prefilter:    *prefilterFlag,
 	}
 
 	if streaming {

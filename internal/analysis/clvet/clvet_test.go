@@ -11,8 +11,16 @@ func TestKernelCapture(t *testing.T) {
 	analysistest.Run(t, "testdata", clvet.KernelCapture, "kernelcapture")
 }
 
+func TestKernelCapturePrefilter(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.KernelCapture, "prefiltercapture")
+}
+
 func TestKernelAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", clvet.KernelAlloc, "kernelalloc")
+}
+
+func TestKernelAllocPrefilter(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.KernelAlloc, "prefilteralloc")
 }
 
 func TestKernelDeterminism(t *testing.T) {
@@ -21,4 +29,8 @@ func TestKernelDeterminism(t *testing.T) {
 
 func TestCostCharge(t *testing.T) {
 	analysistest.Run(t, "testdata", clvet.CostCharge, "costcharge")
+}
+
+func TestCostChargePrefilter(t *testing.T) {
+	analysistest.Run(t, "testdata", clvet.CostCharge, "prefiltercost")
 }

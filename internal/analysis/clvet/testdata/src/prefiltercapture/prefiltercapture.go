@@ -1,0 +1,82 @@
+// Testdata for the kernelcapture analyzer against pre-alignment filter
+// kernels: the prefilter stage's only sanctioned captured write is its
+// own candidate slot candOut[wi.Global]; rejection tallies and shared
+// cursors must live in kernel state or the per-item Cost, never in
+// captured variables.
+package prefiltercapture
+
+import "repro/internal/cl"
+
+type filterState struct {
+	acc  []uint64
+	keep []int
+}
+
+// good is the sanctioned shape: scratch masks in state, survivors
+// written only to the item's own slot, tallies charged as cost.
+func good(cands [][]int, candOut [][]int) *cl.Kernel {
+	return &cl.Kernel{
+		Name:     "good-prefilter",
+		NewState: func() any { return &filterState{} },
+		Body: func(wi *cl.WorkItem, s any) {
+			st := s.(*filterState)
+			st.acc = st.acc[:0]
+			st.keep = st.keep[:0]
+			rejected := int64(0)
+			for _, c := range cands[wi.Global] {
+				if c%2 == 0 {
+					st.keep = append(st.keep, c)
+				} else {
+					rejected++
+				}
+			}
+			slot := candOut[wi.Global][:0]
+			slot = append(slot, st.keep...)
+			candOut[wi.Global] = slot
+			wi.Charge(cl.Cost{Items: 1, Filtered: rejected})
+		},
+	}
+}
+
+// bad keeps a shared rejection tally in a captured counter and compacts
+// survivors through a shared cursor into foreign slots.
+func bad(cands [][]int, candOut [][]int) *cl.Kernel {
+	totalRejected := 0
+	next := 0
+	return &cl.Kernel{
+		Name: "bad-prefilter",
+		Body: func(wi *cl.WorkItem, _ any) {
+			for _, c := range cands[wi.Global] {
+				if c%2 != 0 {
+					totalRejected++ // want `kernel body writes captured variable totalRejected`
+					continue
+				}
+				candOut[next] = append(candOut[next], c) // want `writes captured candOut at an index other than wi\.Global`
+				next++                                   // want `kernel body writes captured variable next`
+			}
+			wi.Charge(cl.Cost{Items: 1})
+		},
+	}
+}
+
+// escape hides the tally mutation behind a pointer, which the analyzer
+// still refuses at the point the address escapes.
+func escape(cands [][]int, candOut [][]int) *cl.Kernel {
+	var rejected int64
+	return &cl.Kernel{
+		Name: "escape-prefilter",
+		Body: func(wi *cl.WorkItem, _ any) {
+			tally(&rejected, cands[wi.Global]) // want `takes the address of captured variable rejected`
+			candOut[wi.Global] = candOut[wi.Global][:0]
+			wi.Charge(cl.Cost{Items: 1})
+		},
+	}
+}
+
+func tally(dst *int64, cands []int) {
+	for _, c := range cands {
+		if c%2 != 0 {
+			*dst++
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Testdata for the costcharge analyzer against pre-alignment filter
+// kernels: filtering work (FilterWords) must be charged like any other
+// kernel work — a filter that rejects candidates without charging makes
+// the filtration stage free on the simulated clock, silently inflating
+// every speedup it reports.
+package prefiltercost
+
+import "repro/internal/cl"
+
+// charged bills its filter words per item: ok.
+func charged(cands [][]int, candOut [][]int) *cl.Kernel {
+	return &cl.Kernel{
+		Name: "charged-prefilter",
+		Body: func(wi *cl.WorkItem, _ any) {
+			kept, words := 0, int64(0)
+			for _, c := range cands[wi.Global] {
+				words += 3
+				if c%2 == 0 {
+					candOut[wi.Global] = candOut[wi.Global][:kept+1]
+					candOut[wi.Global][kept] = c
+					kept++
+				}
+			}
+			wi.Charge(cl.Cost{Items: 1, FilterWords: words,
+				Filtered: int64(len(cands[wi.Global]) - kept)})
+		},
+	}
+}
+
+// free filters without ever reaching Charge: flagged.
+func free(cands [][]int, candOut [][]int) *cl.Kernel {
+	return &cl.Kernel{
+		Name: "free-prefilter",
+		Body: func(wi *cl.WorkItem, _ any) { // want `never reaches \(\*cl\.WorkItem\)\.Charge`
+			kept := 0
+			for _, c := range cands[wi.Global] {
+				if c%2 == 0 {
+					candOut[wi.Global] = candOut[wi.Global][:kept+1]
+					candOut[wi.Global][kept] = c
+					kept++
+				}
+			}
+		},
+	}
+}

@@ -27,6 +27,10 @@ func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", pipevet.HotAlloc, "hotalloc")
 }
 
+func TestHotAllocPrefilter(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.HotAlloc, "prefilterhot")
+}
+
 func TestAnalyzersListsAllFive(t *testing.T) {
 	want := map[string]bool{
 		"pipedeterminism": true, "lockguard": true, "errwrap": true,

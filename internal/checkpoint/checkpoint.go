@@ -104,9 +104,9 @@ func Fingerprint(ix *fmindex.Index, opt mapper.Options, extra ...string) (string
 		return "", fmt.Errorf("checkpoint: fingerprint: %w", err)
 	}
 	o := opt.WithDefaults()
-	fmt.Fprintf(h, "|e=%d|loc=%d|best=%t|smin=%d|freq=%d|retries=%d|backoff=%g",
+	fmt.Fprintf(h, "|e=%d|loc=%d|best=%t|smin=%d|freq=%d|retries=%d|backoff=%g|prefilter=%s",
 		o.MaxErrors, o.MaxLocations, o.Best, o.MinSeedLen, o.MaxSeedFreq,
-		o.Retries, o.RetryBackoffSimSec)
+		o.Retries, o.RetryBackoffSimSec, o.Prefilter)
 	for _, e := range extra {
 		fmt.Fprintf(h, "|%s", e)
 	}
@@ -124,9 +124,9 @@ func FingerprintDigest(digest [32]byte, opt mapper.Options, extra ...string) str
 	h := sha256.New()
 	h.Write(digest[:])
 	o := opt.WithDefaults()
-	fmt.Fprintf(h, "|e=%d|loc=%d|best=%t|smin=%d|freq=%d|retries=%d|backoff=%g",
+	fmt.Fprintf(h, "|e=%d|loc=%d|best=%t|smin=%d|freq=%d|retries=%d|backoff=%g|prefilter=%s",
 		o.MaxErrors, o.MaxLocations, o.Best, o.MinSeedLen, o.MaxSeedFreq,
-		o.Retries, o.RetryBackoffSimSec)
+		o.Retries, o.RetryBackoffSimSec, o.Prefilter)
 	for _, e := range extra {
 		fmt.Fprintf(h, "|%s", e)
 	}

@@ -42,7 +42,7 @@ const (
 // error budgets.
 func cpuWeights() Weights {
 	return Weights{
-		FMStep: 8, DPCell: 4, VerifyWord: 2,
+		FMStep: 8, DPCell: 4, VerifyWord: 2, FilterWord: 3,
 		HashProbe: 28, LocateStep: 26, Byte: 0.05, Item: 60,
 	}
 }
@@ -52,14 +52,14 @@ func gpuWeights() Weights {
 	// global-memory access is ~50x worse and uncoalesced (FM backward
 	// search, locate, hash probing).
 	return Weights{
-		FMStep: 400, DPCell: 6, VerifyWord: 4,
+		FMStep: 400, DPCell: 6, VerifyWord: 4, FilterWord: 6,
 		HashProbe: 1200, LocateStep: 460, Byte: 0, Item: 200,
 	}
 }
 
 func armWeights(scale float64) Weights {
 	return Weights{
-		FMStep: 11 * scale, DPCell: 5 * scale, VerifyWord: 3 * scale,
+		FMStep: 11 * scale, DPCell: 5 * scale, VerifyWord: 3 * scale, FilterWord: 4 * scale,
 		HashProbe: 36 * scale, LocateStep: 34 * scale, Byte: 0.08, Item: 80,
 	}
 }

@@ -54,18 +54,24 @@ type Cost struct {
 	FMSteps     int64 // FM-index backward-search extensions (random access)
 	DPCells     int64 // seed-selection DP cell updates
 	VerifyWords int64 // Myers bit-vector 64-bit word-column updates
+	FilterWords int64 // pre-alignment shifted-Hamming 64-bit word-lane steps
 	HashProbes  int64 // q-gram index bucket probes
 	LocateSteps int64 // suffix-array locate resolutions
 	Bytes       int64 // bulk data movement (host<->device when discrete)
 	Items       int64 // per-work-item fixed overhead units
 
-	// Candidates and Verified are observability-only tallies: candidate
-	// locations that survived filtration and candidates accepted by
-	// verification. They carry no Weights entry, so they never influence
-	// simulated time or energy — they exist so traces and metrics can
-	// report the paper's filtration/verification breakdown per event.
-	Candidates int64
-	Verified   int64
+	// Candidates, Verified, Filtered and FalseAccepts are
+	// observability-only tallies: candidate locations that survived
+	// seed-level filtration, candidates accepted by verification,
+	// candidates rejected by the pre-alignment filter, and
+	// filter-accepted candidates the verifier then rejected. They carry
+	// no Weights entry, so they never influence simulated time or
+	// energy — they exist so traces and metrics can report the paper's
+	// filtration/verification breakdown per event.
+	Candidates   int64
+	Verified     int64
+	Filtered     int64
+	FalseAccepts int64
 }
 
 // Add accumulates o into c.
@@ -73,19 +79,22 @@ func (c *Cost) Add(o Cost) {
 	c.FMSteps += o.FMSteps
 	c.DPCells += o.DPCells
 	c.VerifyWords += o.VerifyWords
+	c.FilterWords += o.FilterWords
 	c.HashProbes += o.HashProbes
 	c.LocateSteps += o.LocateSteps
 	c.Bytes += o.Bytes
 	c.Items += o.Items
 	c.Candidates += o.Candidates
 	c.Verified += o.Verified
+	c.Filtered += o.Filtered
+	c.FalseAccepts += o.FalseAccepts
 }
 
 // Ops returns the total algorithmic operation count — every weighted
 // unit except data movement (Bytes) and the observability tallies. It is
 // the scalar the per-item work histogram observes.
 func (c Cost) Ops() int64 {
-	return c.FMSteps + c.DPCells + c.VerifyWords + c.HashProbes + c.LocateSteps + c.Items
+	return c.FMSteps + c.DPCells + c.VerifyWords + c.FilterWords + c.HashProbes + c.LocateSteps + c.Items
 }
 
 // Weights are the per-operation cycle costs of a device lane.
@@ -93,6 +102,7 @@ type Weights struct {
 	FMStep     float64
 	DPCell     float64
 	VerifyWord float64
+	FilterWord float64
 	HashProbe  float64
 	LocateStep float64
 	Byte       float64
@@ -104,6 +114,7 @@ func (w Weights) Cycles(c Cost) float64 {
 	return float64(c.FMSteps)*w.FMStep +
 		float64(c.DPCells)*w.DPCell +
 		float64(c.VerifyWords)*w.VerifyWord +
+		float64(c.FilterWords)*w.FilterWord +
 		float64(c.HashProbes)*w.HashProbe +
 		float64(c.LocateSteps)*w.LocateStep +
 		float64(c.Bytes)*w.Byte +
@@ -488,6 +499,12 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 		if throttle != 1 {
 			//pipevet:allow hotalloc -- tracing-enabled path only, one append per throttled enqueue
 			attrs = append(attrs, trace.F64("throttle", throttle))
+		}
+		if total.FilterWords > 0 || total.Filtered > 0 || total.FalseAccepts > 0 {
+			//pipevet:allow hotalloc -- tracing-enabled path only, appended only by prefilter-stage kernels
+			attrs = append(attrs, trace.I64("filter_words", total.FilterWords),
+				trace.I64("filtered", total.Filtered),
+				trace.I64("false_accepts", total.FalseAccepts))
 		}
 		t.Span(q.dev.Name, "enqueue:"+k.Name,
 			q.traceOrigin+busyStart, ev.SimSeconds, attrs...)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/cl"
 	"repro/internal/dna"
+	"repro/internal/filter"
 	"repro/internal/fmindex"
 	"repro/internal/mapper"
 	"repro/internal/seed"
@@ -918,11 +919,59 @@ func (p *Pipeline) runBatch(ctx *cl.Context, queue *cl.Queue, ref shardRef, read
 	}
 	defer outBuf.Free()
 
+	if opt.Prefilter == mapper.PrefilterGateKeeper {
+		return p.runBatchPrefilter(ctx, queue, ref, reads, out, opt, inBuf.Size(), outBuf.Size())
+	}
 	kern := p.kernel(ref, reads, out, opt, inBuf.Size()+outBuf.Size())
 	if p.itemHist != nil {
 		kern = instrumentKernel(kern, p.itemHist)
 	}
 	if _, err := queue.EnqueueNDRange(kern, len(reads)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// candidateBytes is the device-side size of one candidate slot in the
+// intermediate buffer between the prefilter and verification kernels
+// (pos int32 + strand, padded).
+const candidateBytes = 8
+
+// runBatchPrefilter is runBatch's two-kernel variant for the optional
+// pre-alignment filter stage: a seed+filter kernel writes the
+// candidates that survive the shifted-Hamming test into fixed per-read
+// slots of a device-resident intermediate buffer, then a verification
+// kernel scans only the survivors. The intermediate buffer counts
+// against the device allocation limit like every other static buffer
+// (an oversized batch fails allocation and is halved by mapOnDevice),
+// but charges no host-transfer bytes — it never crosses the bus. A
+// faulted verification launch retries the whole batch; the prefilter
+// kernel is deterministic and idempotent over its slots, so the retry
+// recomputes identical survivors.
+func (p *Pipeline) runBatchPrefilter(ctx *cl.Context, queue *cl.Queue, ref shardRef, reads [][]byte, out [][]mapper.Mapping, opt mapper.Options, inBytes, outBytes int64) error {
+	dev := queue.Device()
+	// Dedup can only shrink the candidate set, so 2 strands × maxCand
+	// located candidates bound the survivors per read.
+	slotCap := 4 * opt.MaxLocations
+	candBuf, err := ctx.AllocBuffer(dev, int64(len(reads))*int64(slotCap)*candidateBytes)
+	if err != nil {
+		return fmt.Errorf("candidate buffer: %w", err)
+	}
+	defer candBuf.Free()
+	backing := make([]mapper.Candidate, len(reads)*slotCap)
+	candOut := make([][]mapper.Candidate, len(reads))
+	for i := range candOut {
+		candOut[i] = backing[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
+	pre, ver := p.prefilterKernels(ref, reads, candOut, out, opt, inBytes, outBytes)
+	if p.itemHist != nil {
+		pre = instrumentKernel(pre, p.itemHist)
+		ver = instrumentKernel(ver, p.itemHist)
+	}
+	if _, err := queue.EnqueueNDRange(pre, len(reads)); err != nil {
+		return err
+	}
+	if _, err := queue.EnqueueNDRange(ver, len(reads)); err != nil {
 		return err
 	}
 	return nil
@@ -944,16 +993,71 @@ func instrumentKernel(k *cl.Kernel, h *trace.Histogram) *cl.Kernel {
 	return &out
 }
 
-// kernelState is one host worker's private memory for the combined
-// filtration+verification kernel: the reverse-complement buffer, the
-// candidate and locate scratch slices and the verifier state. Keeping
-// them here — not captured by the kernel closure — is what lets the
-// work-group scheduler run work items on several workers at once.
+// kernelState is one host worker's private memory for the mapping
+// kernels: the reverse-complement buffer, the candidate and locate
+// scratch slices, the verifier state and the pre-alignment filter
+// scratch. Keeping them here — not captured by the kernel closure — is
+// what lets the work-group scheduler run work items on several workers
+// at once.
 type kernelState struct {
 	vs    mapper.VerifyState
 	rev   []byte
 	cands []mapper.Candidate
 	locs  []int32
+	win   []byte       // prefilter window scratch
+	fs    filter.State // prefilter shifted-Hamming scratch
+}
+
+// gather runs seed selection and candidate location for both strands of
+// read, appending candidates into st.cands (which the caller resets)
+// and charging the selection and locate work to itemCost. On return
+// st.rev holds the read's reverse complement. This is the shared first
+// half of the combined kernel and the standalone prefilter kernel; it
+// allocates only into kernel-state scratch, per the clvet contract its
+// callers are held to.
+func (st *kernelState) gather(selector seed.Selector, ref shardRef, read []byte,
+	params seed.Params, maxCand int, locSteps float64, itemCost *cl.Cost) {
+	for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
+		pattern := read
+		if strand == mapper.Reverse {
+			if cap(st.rev) < len(read) {
+				st.rev = make([]byte, len(read))
+			}
+			st.rev = st.rev[:len(read)]
+			dna.ReverseComplementInto(st.rev, read)
+			pattern = st.rev
+		}
+		sel, err := selector.Select(ref.ix, pattern, params)
+		if err != nil {
+			// Static kernels cannot recover; surface as a launch
+			// failure like a real kernel fault would.
+			panic(err)
+		}
+		itemCost.FMSteps += int64(sel.FMSteps)
+		itemCost.DPCells += int64(sel.DPCells)
+		remaining := maxCand
+		for _, s := range sel.Seeds {
+			if remaining <= 0 {
+				break
+			}
+			c := s.Count()
+			if c == 0 {
+				continue
+			}
+			if c > remaining {
+				c = remaining
+			}
+			st.locs = ref.ix.Locate(s.Lo, s.Lo+c, 0, st.locs[:0])
+			itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
+			for _, pos := range st.locs {
+				st.cands = append(st.cands, mapper.Candidate{
+					Pos:    pos - int32(s.Start),
+					Strand: strand,
+				})
+			}
+			remaining -= c
+		}
+	}
 }
 
 // kernel builds the combined filtration+verification kernel over a batch
@@ -989,47 +1093,7 @@ func (p *Pipeline) kernel(ref shardRef, reads [][]byte, out [][]mapper.Mapping, 
 			read := reads[wi.Global]
 			st.cands = st.cands[:0]
 			var itemCost cl.Cost
-			for _, strand := range []byte{mapper.Forward, mapper.Reverse} {
-				pattern := read
-				if strand == mapper.Reverse {
-					if cap(st.rev) < len(read) {
-						st.rev = make([]byte, len(read))
-					}
-					st.rev = st.rev[:len(read)]
-					dna.ReverseComplementInto(st.rev, read)
-					pattern = st.rev
-				}
-				sel, err := p.selector.Select(ref.ix, pattern, params)
-				if err != nil {
-					// Static kernels cannot recover; surface as a launch
-					// failure like a real kernel fault would.
-					panic(err)
-				}
-				itemCost.FMSteps += int64(sel.FMSteps)
-				itemCost.DPCells += int64(sel.DPCells)
-				remaining := maxCand
-				for _, s := range sel.Seeds {
-					if remaining <= 0 {
-						break
-					}
-					c := s.Count()
-					if c == 0 {
-						continue
-					}
-					if c > remaining {
-						c = remaining
-					}
-					st.locs = ref.ix.Locate(s.Lo, s.Lo+c, 0, st.locs[:0])
-					itemCost.LocateSteps += int64(float64(c) * (1 + locSteps))
-					for _, pos := range st.locs {
-						st.cands = append(st.cands, mapper.Candidate{
-							Pos:    pos - int32(s.Start),
-							Strand: strand,
-						})
-					}
-					remaining -= c
-				}
-			}
+			st.gather(p.selector, ref, read, params, maxCand, locSteps, &itemCost)
 			dd := mapper.DedupCandidates(st.cands, int32(maxErr))
 			ms, vc := st.vs.Verify(ref.ix.Text(), read, dd, maxErr, opt.MaxLocations)
 			if ref.filter {
@@ -1057,4 +1121,137 @@ func (p *Pipeline) kernel(ref shardRef, reads [][]byte, out [][]mapper.Mapping, 
 			out[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
 		},
 	}
+}
+
+// prefilterKernels builds the two-kernel pre-alignment pipeline over a
+// batch: the prefilter kernel repeats the combined kernel's seed
+// selection, location and dedup, then runs the GateKeeper-style
+// shifted-Hamming filter (internal/filter) over each candidate's
+// verification window and writes the survivors into the read's fixed
+// candidate slot; the verification kernel Myers-scans only the
+// survivors. The filter accepts a superset of the verifiable windows,
+// so the final mappings are byte-identical to the single-kernel path —
+// the equivalence and oracle tests pin exactly that. Host-transfer
+// bytes split across the pair: reads travel with the prefilter launch,
+// mapping slots travel back with verification.
+func (p *Pipeline) prefilterKernels(ref shardRef, reads [][]byte, candOut [][]mapper.Candidate, out [][]mapper.Mapping, opt mapper.Options, inBytes, outBytes int64) (pre, ver *cl.Kernel) {
+	maxErr := opt.MaxErrors
+	params := seed.Params{
+		Errors:      maxErr,
+		MinSeedLen:  opt.MinSeedLen,
+		MaxSeedFreq: opt.MaxSeedFreq,
+	}
+	if params.MinSeedLen <= 0 {
+		params.MinSeedLen = DefaultMinSeedLen(len(reads[0]), maxErr)
+	}
+	maxCand := 2 * opt.MaxLocations
+	locSteps := ref.ix.LocateSteps()
+	inPerItem := inBytes / int64(len(reads))
+	outPerItem := outBytes / int64(len(reads))
+	text := ref.ix.Text()
+
+	pre = &cl.Kernel{
+		Name:                p.name + "-prefilter",
+		PrivateBytesPerItem: int64(seed.DPPeakMem(len(reads[0]), maxErr, params.MinSeedLen, p.selector)),
+		NewState: func() any {
+			return &kernelState{rev: make([]byte, len(reads[0]))}
+		},
+		Body: func(wi *cl.WorkItem, state any) {
+			st := state.(*kernelState)
+			read := reads[wi.Global]
+			st.cands = st.cands[:0]
+			var itemCost cl.Cost
+			st.gather(p.selector, ref, read, params, maxCand, locSteps, &itemCost)
+			dd := mapper.DedupCandidates(st.cands, int32(maxErr))
+			n := len(read)
+			slot := candOut[wi.Global][:cap(candOut[wi.Global])]
+			kept := 0
+			prepared := byte(0xFF) // no pattern prepared yet
+			for _, c := range dd {
+				// The window is exactly the one verification would scan;
+				// windows too short to hold any match are dropped here the
+				// way Verify itself would skip them.
+				lo := int(c.Pos) - maxErr
+				hi := int(c.Pos) + n + maxErr
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > text.Len() {
+					hi = text.Len()
+				}
+				if hi-lo < n-maxErr {
+					itemCost.Filtered++
+					continue
+				}
+				if c.Strand != prepared {
+					// Candidates arrive sorted by strand, so each strand's
+					// pattern bitvectors build at most once per read.
+					pattern := read
+					if c.Strand == mapper.Reverse {
+						pattern = st.rev
+					}
+					itemCost.FilterWords += st.fs.Prepare(pattern, maxErr)
+					prepared = c.Strand
+				}
+				if cap(st.win) < hi-lo {
+					st.win = make([]byte, hi-lo)
+				}
+				win := text.SliceInto(st.win, lo, hi)
+				ok, fw := st.fs.Accept(win)
+				itemCost.FilterWords += fw
+				if !ok {
+					itemCost.Filtered++
+					continue
+				}
+				slot[kept] = c
+				kept++
+			}
+			candOut[wi.Global] = slot[:kept]
+			itemCost.Items = 1
+			itemCost.Bytes = inPerItem
+			itemCost.Candidates = int64(len(dd))
+			wi.Charge(itemCost)
+		},
+	}
+
+	ver = &cl.Kernel{
+		Name:                p.name + "-verify",
+		PrivateBytesPerItem: int64(8 * len(reads[0])),
+		NewState: func() any {
+			return &kernelState{}
+		},
+		Body: func(wi *cl.WorkItem, state any) {
+			st := state.(*kernelState)
+			read := reads[wi.Global]
+			cands := candOut[wi.Global]
+			var itemCost cl.Cost
+			ms, vc := st.vs.Verify(text, read, cands, maxErr, opt.MaxLocations)
+			if ref.filter {
+				// Globalize and owner-filter in place, as in the combined
+				// kernel: a constant shift preserves Verify's sort order.
+				w := 0
+				for _, m := range ms {
+					g := int64(m.Pos) + ref.sliceStart
+					if g < ref.ownStart || g >= ref.ownEnd {
+						continue
+					}
+					m.Pos = int32(g)
+					ms[w] = m
+					w++
+				}
+				ms = ms[:w]
+			}
+			itemCost.VerifyWords += vc.VerifyWords
+			itemCost.Items = 1
+			itemCost.Bytes = outPerItem
+			itemCost.Verified = int64(len(ms))
+			// Every slot candidate passed the filter and owns a full
+			// window, so the ones Myers rejects are the filter's false
+			// accepts.
+			itemCost.FalseAccepts = int64(len(cands)) - vc.Matched
+			wi.Charge(itemCost)
+			out[wi.Global] = mapper.Finalize(ms, opt.Best, opt.MaxLocations)
+		},
+	}
+	return pre, ver
 }

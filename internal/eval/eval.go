@@ -16,7 +16,11 @@
 // offset about where an alignment "starts".
 package eval
 
-import "repro/internal/mapper"
+import (
+	"fmt"
+
+	"repro/internal/mapper"
+)
 
 // matches reports whether ms (sorted by Pos, as mapper.Finalize emits)
 // contains a location within ±tol of pos on the given strand.
@@ -181,4 +185,22 @@ func IdenticalMappings(a, b [][]mapper.Mapping) (bool, int) {
 		return false, n
 	}
 	return true, -1
+}
+
+// PrefilterGate is the accuracy-regression gate for the pre-alignment
+// filter: a filter is only allowed to discard candidate locations the
+// verifier would reject anyway, so a filtered run must produce mappings
+// byte-identical to the unfiltered run — not merely accuracy-equivalent.
+// It returns nil when the outputs match and an error naming the first
+// differing read otherwise.
+func PrefilterGate(unfiltered, filtered [][]mapper.Mapping) error {
+	if ok, i := IdenticalMappings(unfiltered, filtered); !ok {
+		if i >= len(unfiltered) || i >= len(filtered) {
+			return fmt.Errorf("eval: prefilter gate: read counts differ (%d unfiltered, %d filtered)",
+				len(unfiltered), len(filtered))
+		}
+		return fmt.Errorf("eval: prefilter gate: read %d differs (%d unfiltered vs %d filtered mappings)",
+			i, len(unfiltered[i]), len(filtered[i]))
+	}
+	return nil
 }

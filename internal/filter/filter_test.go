@@ -1,0 +1,212 @@
+package filter
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dna"
+)
+
+// randSeq returns n random base codes.
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(dna.Alphabet))
+	}
+	return s
+}
+
+// mutate applies exactly e random edits (substitution, insertion or
+// deletion) to a copy of pattern, producing a sequence the verifier is
+// guaranteed to accept within e edits.
+func mutate(rng *rand.Rand, pattern []byte, e int) []byte {
+	out := append([]byte(nil), pattern...)
+	for k := 0; k < e; k++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(out) > 0: // substitution
+			i := rng.Intn(len(out))
+			out[i] = byte(rng.Intn(dna.Alphabet))
+		case op == 1: // insertion
+			i := rng.Intn(len(out) + 1)
+			out = append(out, 0)
+			copy(out[i+1:], out[i:])
+			out[i] = byte(rng.Intn(dna.Alphabet))
+		case len(out) > 0: // deletion
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}
+
+// window builds a candidate window around body: random padding on both
+// sides, total length between n-delta and n+2*delta like the padded
+// windows the verification stage extracts.
+func window(rng *rand.Rand, body []byte, n, delta int) []byte {
+	pad := n + 2*delta - len(body)
+	if pad < 0 {
+		pad = 0
+	}
+	left := 0
+	if pad > 0 {
+		left = rng.Intn(pad + 1)
+	}
+	w := make([]byte, 0, len(body)+pad)
+	w = append(w, randSeq(rng, left)...)
+	w = append(w, body...)
+	w = append(w, randSeq(rng, pad-left)...)
+	return w
+}
+
+// oracleTrial runs one randomized trial and reports a false reject:
+// the Myers verifier accepts the window but the filter rejects it.
+func oracleTrial(t *testing.T, rng *rand.Rand, st *State, delta int) {
+	t.Helper()
+	n := 1 + rng.Intn(120)
+	pattern := randSeq(rng, n)
+	var body []byte
+	if rng.Intn(2) == 0 {
+		// Planted instance: the window provably contains a ≤delta match.
+		body = mutate(rng, pattern, rng.Intn(delta+1))
+	} else {
+		// Junk instance: usually unverifiable, exercises rejection.
+		body = randSeq(rng, n)
+	}
+	win := window(rng, body, n, delta)
+	if len(win) < n-delta {
+		return // the pipeline skips windows that cannot contain a match
+	}
+	_, verifies := align.Verify(pattern, win, delta)
+	st.Prepare(pattern, delta)
+	accepted, _ := st.Accept(win)
+	if verifies && !accepted {
+		t.Fatalf("false reject: delta=%d n=%d pattern=%v window=%v",
+			delta, n, pattern, win)
+	}
+}
+
+// TestFilterNeverFalseRejects is the superset-invariant oracle: across
+// randomized patterns and windows for δ ∈ {0,1,2,3}, the filter never
+// rejects a window the Myers verifier accepts.
+func TestFilterNeverFalseRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var st State
+	for delta := 0; delta <= 3; delta++ {
+		for trial := 0; trial < 4000; trial++ {
+			oracleTrial(t, rng, &st, delta)
+		}
+	}
+}
+
+// TestFilterNeverFalseRejectsParallel runs the same oracle from many
+// goroutines with per-goroutine states, so -race observes the filter
+// scratch being used the way concurrent host workers use it.
+func TestFilterNeverFalseRejectsParallel(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var st State
+			for delta := 0; delta <= 3; delta++ {
+				for trial := 0; trial < 800; trial++ {
+					oracleTrial(t, rng, &st, delta)
+				}
+			}
+		}(int64(g + 100))
+	}
+	wg.Wait()
+}
+
+// TestFilterRejectsJunk pins the filter's reason to exist: on fully
+// random windows (no planted match) at realistic read length it must
+// reject a substantial fraction, else it is a no-op stage.
+func TestFilterRejectsJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, delta := range []int{0, 1, 2, 3} {
+		var st State
+		rejected, trials := 0, 2000
+		for i := 0; i < trials; i++ {
+			pattern := randSeq(rng, 100)
+			win := randSeq(rng, 100+2*delta)
+			st.Prepare(pattern, delta)
+			if ok, _ := st.Accept(win); !ok {
+				rejected++
+			}
+		}
+		frac := float64(rejected) / float64(trials)
+		if frac < 0.3 {
+			t.Errorf("delta=%d: rejected only %.1f%% of junk windows", delta, 100*frac)
+		}
+		t.Logf("delta=%d junk rejection: %.1f%%", delta, 100*frac)
+	}
+}
+
+// TestFilterEdgeCases covers the degenerate paths.
+func TestFilterEdgeCases(t *testing.T) {
+	var st State
+	st.Prepare(nil, 2)
+	if ok, w := st.Accept([]byte{0, 1, 2}); !ok || w != 0 {
+		t.Errorf("empty pattern: got (%t, %d), want accept at zero cost", ok, w)
+	}
+	pattern := dna.MustEncode("ACGTACGTACGT")
+	st.Prepare(pattern, 1)
+	if ok, w := st.Accept(pattern[:5]); ok || w != 0 {
+		t.Errorf("short window: got (%t, %d), want reject at zero cost", ok, w)
+	}
+	// Threshold 2δ+1 ≥ n accepts trivially without scanning.
+	st.Prepare(pattern[:3], 1)
+	if ok, w := st.Accept(dna.MustEncode("TTTTT")); !ok || w != 0 {
+		t.Errorf("trivial threshold: got (%t, %d), want accept at zero cost", ok, w)
+	}
+	// An exact match is always accepted and always charged.
+	st.Prepare(pattern, 0)
+	ok, w := st.Accept(pattern)
+	if !ok || w <= 0 {
+		t.Errorf("exact match: got (%t, %d), want accept with positive cost", ok, w)
+	}
+}
+
+// TestFilterCostScales checks the charged filter words grow with the
+// shift count: the δ=3 scan must cost more than the δ=0 scan on the
+// same pattern/window pair, and both must be positive.
+func TestFilterCostScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pattern := randSeq(rng, 100)
+	win := randSeq(rng, 106)
+	var st State
+	st.Prepare(pattern, 0)
+	_, w0 := st.Accept(win[:100])
+	st.Prepare(pattern, 3)
+	_, w3 := st.Accept(win)
+	if w0 <= 0 || w3 <= w0 {
+		t.Errorf("filter words: delta0=%d delta3=%d, want 0 < delta0 < delta3", w0, w3)
+	}
+}
+
+// TestFilterZeroAllocSteadyState pins the hot path at zero allocations
+// once the scratch has grown to the working size — the same contract
+// the simulated kernels are held to by clvet and AllocsPerRun pins.
+func TestFilterZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pattern := randSeq(rng, 150)
+	wins := make([][]byte, 16)
+	for i := range wins {
+		wins[i] = randSeq(rng, 150+2*3)
+	}
+	var st State
+	st.Prepare(pattern, 3)
+	st.Accept(wins[0]) // warm the scratch
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		st.Prepare(pattern, 3)
+		st.Accept(wins[i%len(wins)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Prepare+Accept allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -54,7 +54,19 @@ type Options struct {
 	// the device's busy time and therefore in SimSeconds and EnergyJ.
 	// 0 means the default of 1 ms.
 	RetryBackoffSimSec float64
+	// Prefilter selects the optional pre-alignment filter stage between
+	// seed location and verification: PrefilterOff (the default) or
+	// PrefilterGateKeeper (bit-parallel shifted-Hamming rejection, see
+	// internal/filter). The filter only ever accepts a superset of the
+	// verifiable candidates, so mappings are identical either way.
+	Prefilter string
 }
+
+// Prefilter stage names accepted by Options.Prefilter.
+const (
+	PrefilterOff        = "off"
+	PrefilterGateKeeper = "gatekeeper"
+)
 
 // WithDefaults fills unset fields.
 func (o Options) WithDefaults() Options {
@@ -71,6 +83,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.RetryBackoffSimSec <= 0 {
 		o.RetryBackoffSimSec = 1e-3
+	}
+	if o.Prefilter == "" {
+		o.Prefilter = PrefilterOff
 	}
 	return o
 }
@@ -220,6 +235,10 @@ type VerifyState struct {
 type VerifyCost struct {
 	Windows     int64
 	VerifyWords int64
+	// Matched counts candidates whose window verified (the Myers scan
+	// found a match within the budget); callers running behind the
+	// pre-alignment filter derive false accepts as len(cands)-Matched.
+	Matched int64
 }
 
 // Verify checks every candidate with the Myers bit-vector and returns the
@@ -263,6 +282,7 @@ func (vs *VerifyState) Verify(text dna.PackedSeq, read []byte, cands []Candidate
 		if !ok {
 			continue
 		}
+		cost.Matched++
 		//pipevet:allow hotalloc -- verified mappings are the output, retained by the caller
 		out = append(out, Mapping{
 			Pos:    int32(lo + m.Start),
@@ -346,8 +366,15 @@ func MergeShards(parts [][]Mapping, bestOnly bool, maxLoc int) []Mapping {
 	return Finalize(all, bestOnly, maxLoc)
 }
 
-// ValidateReads rejects reads no mapper here can handle.
+// ValidateReads rejects reads no mapper here can handle, plus option
+// values with no pipeline interpretation.
 func ValidateReads(reads [][]byte, opt Options) error {
+	switch opt.Prefilter {
+	case "", PrefilterOff, PrefilterGateKeeper:
+	default:
+		return fmt.Errorf("mapper: unknown prefilter %q (valid: %s, %s)",
+			opt.Prefilter, PrefilterOff, PrefilterGateKeeper)
+	}
 	for i, r := range reads {
 		if len(r) == 0 {
 			return fmt.Errorf("mapper: read %d is empty", i)

@@ -73,6 +73,7 @@ type Job struct {
 	// Request parameters.
 	Batch      int    `json:"batch"`
 	Cigar      bool   `json:"cigar,omitempty"`
+	Prefilter  string `json:"prefilter,omitempty"`   // pre-alignment filter ("" = off)
 	Faults     string `json:"faults,omitempty"`      // X-Repute-Faults plan text
 	DeadlineMS int64  `json:"deadline_ms,omitempty"` // 0 = none
 	Bytes      int64  `json:"bytes"`                 // spooled upload size

@@ -128,7 +128,10 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 	if err != nil {
 		return err
 	}
-	opt := mapper.Options{MaxErrors: s.cfg.MaxErrors, MaxLocations: s.cfg.MaxLocations}
+	opt := mapper.Options{
+		MaxErrors: s.cfg.MaxErrors, MaxLocations: s.cfg.MaxLocations,
+		Prefilter: job.Prefilter,
+	}
 	fingerprint := checkpoint.FingerprintDigest(s.digest, opt,
 		fmt.Sprintf("batch=%d", job.Batch),
 		fmt.Sprintf("cigar=%t", job.Cigar),

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cl"
 	"repro/internal/genome"
 	"repro/internal/index"
+	"repro/internal/mapper"
 	"repro/internal/trace"
 )
 
@@ -299,6 +300,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		job.Cigar = b
+	}
+	if v := q.Get("prefilter"); v != "" {
+		switch v {
+		case mapper.PrefilterOff, mapper.PrefilterGateKeeper:
+			job.Prefilter = v
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad prefilter %q (want %s or %s)",
+				v, mapper.PrefilterOff, mapper.PrefilterGateKeeper)})
+			return
+		}
 	}
 	if v := q.Get("deadline_ms"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)

@@ -557,3 +557,54 @@ func TestServeDeadline(t *testing.T) {
 		t.Errorf("attempts = %d, want 1 (deadline failures don't retry)", failed.Attempts)
 	}
 }
+
+// TestServePrefilter submits a job with the GateKeeper pre-alignment
+// filter enabled: the SAM must stay byte-identical to the unfiltered
+// in-memory baseline (the filter's superset invariant, end to end), the
+// filter configuration must persist in job.json, and the filter's
+// counters must fold into /metrics. A bad filter name is a 400.
+func TestServePrefilter(t *testing.T) {
+	fx := newFixture(t, 40_000, 40)
+	s, ts := newServer(t, fx, t.TempDir(), nil)
+	defer s.Drain()
+
+	resp := submit(t, ts.URL, fx.fastq, "?batch=7&prefilter=gatekeeper", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	j := decodeJob(t, resp)
+	if j.Prefilter != mapper.PrefilterGateKeeper {
+		t.Fatalf("admitted job prefilter = %q, want %q", j.Prefilter, mapper.PrefilterGateKeeper)
+	}
+	done := awaitState(t, ts.URL, j.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("job failed: %+v", done.Error)
+	}
+	got := fetchSAM(t, ts.URL, j.ID)
+	want := fx.baselineSAM(t, false, 5, 100)
+	if !bytes.Equal(got, want) {
+		t.Errorf("filtered service SAM differs from unfiltered baseline (%d vs %d bytes)", len(got), len(want))
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap trace.Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if _, ok := snap.Counters["prefilter_rejected_total"]; !ok {
+		t.Error("prefilter_rejected_total not folded into /metrics")
+	}
+	if _, ok := snap.Counters["prefilter_false_accepts_total"]; !ok {
+		t.Error("prefilter_false_accepts_total not folded into /metrics")
+	}
+
+	bad := submit(t, ts.URL, fx.fastq, "?prefilter=grim", nil)
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad prefilter = %d, want 400", bad.StatusCode)
+	}
+}

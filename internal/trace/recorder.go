@@ -201,13 +201,24 @@ func (r *Recorder) Validate() error {
 //	failovers_total              counter: failover + deadline-migrate instants
 //	records_skipped_total        counter: record-skipped instants (lenient ingest)
 //	records_skipped_total/<reason>  counter: same, broken down by reason attr
+//	kernel_seconds/<kernel>      gauge: summed enqueue:* span durations per kernel
 //	enqueue_seconds              histogram: enqueue:* span durations
 //	item_ops                     histogram: per-item op counts (if observed)
+//
+// When the pre-alignment filter ran (any event carries prefilter
+// attributes), three more metrics appear:
+//
+//	prefilter_rejected_total       counter: candidates rejected by the filter
+//	prefilter_false_accepts_total  counter: filter-accepted candidates verification rejected
+//	prefilter_filtered_fraction    gauge: rejected / candidates seen by the filter
 func (r *Recorder) Metrics() Snapshot {
 	reg := NewRegistry()
 	energy := map[string]float64{}
 	busy := map[string]float64{}
+	kernelSec := map[string]float64{}
 	enqSec := reg.Histogram("enqueue_seconds", TimeBuckets())
+	var prefRejected, prefCands, prefFalseAcc int64
+	prefSeen := false
 	for _, ev := range r.Events() {
 		if end := ev.Start + ev.Dur; ev.Lane != "host" && end > busy[ev.Lane] {
 			busy[ev.Lane] = end
@@ -217,7 +228,9 @@ func (r *Recorder) Metrics() Snapshot {
 			if isEnqueue(ev.Name) {
 				reg.Counter("enqueues_total/" + ev.Lane).Add(1)
 				enqSec.Observe(ev.Dur)
+				kernelSec[ev.Name[len("enqueue:"):]] += ev.Dur
 			}
+			evCands, evFiltered := int64(0), false
 			for _, a := range ev.Attrs {
 				switch a.Key {
 				case "energy_j":
@@ -227,12 +240,29 @@ func (r *Recorder) Metrics() Snapshot {
 				case "candidates":
 					if v, ok := a.Value().(int64); ok {
 						reg.Counter("candidates_total").Add(v)
+						evCands = v
 					}
 				case "verified":
 					if v, ok := a.Value().(int64); ok {
 						reg.Counter("verified_total").Add(v)
 					}
+				case "filtered":
+					if v, ok := a.Value().(int64); ok {
+						prefRejected += v
+						prefSeen, evFiltered = true, true
+					}
+				case "false_accepts":
+					if v, ok := a.Value().(int64); ok {
+						prefFalseAcc += v
+						prefSeen = true
+					}
 				}
+			}
+			// The filtered fraction's denominator counts only candidates
+			// on prefilter-stage events, where both attributes ride the
+			// same span.
+			if evFiltered {
+				prefCands += evCands
 			}
 		case 'i':
 			switch ev.Name {
@@ -262,6 +292,18 @@ func (r *Recorder) Metrics() Snapshot {
 	}
 	for lane, j := range energy {
 		reg.Gauge("energy_joules/" + lane).Set(j)
+	}
+	for kernel, sec := range kernelSec {
+		reg.Gauge("kernel_seconds/" + kernel).Set(sec)
+	}
+	if prefSeen {
+		reg.Counter("prefilter_rejected_total").Add(prefRejected)
+		reg.Counter("prefilter_false_accepts_total").Add(prefFalseAcc)
+		frac := 0.0
+		if prefCands > 0 {
+			frac = float64(prefRejected) / float64(prefCands)
+		}
+		reg.Gauge("prefilter_filtered_fraction").Set(frac)
 	}
 	if r.itemOps.Count() > 0 {
 		reg.Histogram("item_ops", OpsBuckets()).copyFrom(r.itemOps)

@@ -241,6 +241,53 @@ func TestRecorderMetricsDerivation(t *testing.T) {
 	if hs := m.Histograms["enqueue_seconds"]; hs.Count != 2 {
 		t.Errorf("enqueue_seconds = %+v", hs)
 	}
+	if got := m.Gauges["kernel_seconds/map"]; got != 3 {
+		t.Errorf("kernel_seconds/map = %g, want 3", got)
+	}
+	// No event carried prefilter attributes, so no prefilter metrics
+	// may appear: their presence is gated on the filter having run.
+	for _, k := range []string{"prefilter_rejected_total", "prefilter_false_accepts_total"} {
+		if _, ok := m.Counters[k]; ok {
+			t.Errorf("%s present without prefilter events", k)
+		}
+	}
+	if _, ok := m.Gauges["prefilter_filtered_fraction"]; ok {
+		t.Error("prefilter_filtered_fraction present without prefilter events")
+	}
+}
+
+func TestRecorderMetricsPrefilterDerivation(t *testing.T) {
+	r := NewRecorder()
+	// Two prefilter-stage spans and one verify-stage span, mirroring how
+	// EnqueueNDRange attaches the attributes: candidates + filtered ride
+	// the prefilter span, false_accepts rides the verify span.
+	r.Span("cpu-0", "enqueue:map-prefilter", 0, 1,
+		I64("candidates", 40), I64("filtered", 25), I64("filter_words", 900))
+	r.Span("cpu-0", "enqueue:map-prefilter", 1, 1,
+		I64("candidates", 10), I64("filtered", 5), I64("filter_words", 200))
+	r.Span("cpu-0", "enqueue:map-verify", 2, 1,
+		I64("candidates", 20), I64("verified", 17), I64("false_accepts", 3))
+	m := r.Metrics()
+	if got := m.Counters["prefilter_rejected_total"]; got != 30 {
+		t.Errorf("prefilter_rejected_total = %d, want 30", got)
+	}
+	if got := m.Counters["prefilter_false_accepts_total"]; got != 3 {
+		t.Errorf("prefilter_false_accepts_total = %d, want 3", got)
+	}
+	// Denominator counts candidates only on spans that carried a
+	// "filtered" attribute (40+10), not the verify span's 20.
+	if got := m.Gauges["prefilter_filtered_fraction"]; got != 0.6 {
+		t.Errorf("prefilter_filtered_fraction = %g, want 0.6", got)
+	}
+	if got := m.Counters["candidates_total"]; got != 70 {
+		t.Errorf("candidates_total = %d, want 70", got)
+	}
+	if got := m.Gauges["kernel_seconds/map-prefilter"]; got != 2 {
+		t.Errorf("kernel_seconds/map-prefilter = %g, want 2", got)
+	}
+	if got := m.Gauges["kernel_seconds/map-verify"]; got != 1 {
+		t.Errorf("kernel_seconds/map-verify = %g, want 1", got)
+	}
 }
 
 func TestWriteChromeTrace(t *testing.T) {
