@@ -6,14 +6,17 @@
 //	experiments [-scale tiny|small|medium|full] [-seed N] [-run LIST] [-out FILE]
 //
 // -run selects experiments (comma separated: table1, table2, table3,
-// table4, fig3, fig4, or "all"). Four extra studies run only when named
+// table4, fig3, fig4, or "all"). Six extra studies run only when named
 // explicitly: "ablations" (design-choice quantification), "faults" (the
 // fault-injection recovery sweep), "trace" (an instrumented System 1
 // run whose Chrome trace -trace-out writes for chrome://tracing or
 // Perfetto), "index" (the artifact load-vs-rebuild measurement;
-// -index-out writes its JSON, see BENCH_index.json) and "prefilter" (the
+// -index-out writes its JSON, see BENCH_index.json), "prefilter" (the
 // pre-alignment filter ablation; -prefilter-out writes its JSON, see
-// BENCH_prefilter.json). -out writes the full markdown report
+// BENCH_prefilter.json) and "serve" (the mapping-service load sweep: M
+// concurrent clients against a live server, p50/p99 job latency and
+// saturation throughput; -serve-out writes its JSON, see
+// BENCH_serve.json). -out writes the full markdown report
 // (EXPERIMENTS.md form) in addition to the console tables.
 package main
 
@@ -35,15 +38,16 @@ func main() {
 	traceOutFlag := flag.String("trace-out", "trace.json", "Chrome trace output path for -run trace")
 	indexOutFlag := flag.String("index-out", "", "JSON output path for -run index (e.g. BENCH_index.json)")
 	prefilterOutFlag := flag.String("prefilter-out", "", "JSON output path for -run prefilter (e.g. BENCH_prefilter.json)")
+	serveOutFlag := flag.String("serve-out", "", "JSON output path for -run serve (e.g. BENCH_serve.json)")
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag, *indexOutFlag, *prefilterOutFlag); err != nil {
+	if err := run(*scaleFlag, *seedFlag, *runFlag, *outFlag, *jsonFlag, *traceOutFlag, *indexOutFlag, *prefilterOutFlag, *serveOutFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, indexOut, prefilterOut string) error {
+func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, indexOut, prefilterOut, serveOut string) error {
 	sc, err := bench.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -218,6 +222,28 @@ func run(scaleName string, seed int64, runList, outPath, jsonPath, traceOut, ind
 				return err
 			}
 			fmt.Printf("wrote prefilter ablation JSON to %s\n", prefilterOut)
+		}
+		ran = true
+	}
+	if sel("serve") {
+		b, err := bench.RunServeBench(ds)
+		if err != nil {
+			return err
+		}
+		b.Render(os.Stdout)
+		if serveOut != "" {
+			f, err := os.Create(serveOut)
+			if err != nil {
+				return err
+			}
+			if err := b.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote serve load-sweep JSON to %s\n", serveOut)
 		}
 		ran = true
 	}

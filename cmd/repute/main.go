@@ -10,7 +10,7 @@
 //	repute map {-index ref.ridx | -ref ref.fa} -reads reads.fq [-e 5] [-smin 0]
 //	           [-platform system1|system1-cpu|hikey970] [-split 0.52,0.24,0.24]
 //	           [-max-locations 100] [-selector dp|coral] [-prefilter off|gatekeeper] [-out out.sam]
-//	           [-trace trace.json]
+//	           [-trace trace.json] [-metrics-out metrics.prom]
 //	           [-batch 4096 [-lenient] [-checkpoint run.ckpt [-resume]]]
 //
 // `index build` writes a versioned container (magic, format version,
@@ -267,6 +267,7 @@ func runMap(args []string) error {
 	cigarFlag := fs.Bool("cigar", false, "recover CIGAR strings for reported mappings")
 	outPath := fs.String("out", "", "SAM output path (default stdout)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the simulated run (chrome://tracing, Perfetto)")
+	metricsPath := fs.String("metrics-out", "", "write the run's metric snapshot here (.prom suffix = Prometheus text exposition, else JSON)")
 	batchFlag := fs.Int("batch", 0, "streaming mode: map reads in batches of this size (0 = load everything in memory)")
 	ckptFlag := fs.String("checkpoint", "", "streaming mode: persist a resumable checkpoint here at every batch boundary")
 	resumeFlag := fs.Bool("resume", false, "continue an interrupted run from -checkpoint")
@@ -320,11 +321,19 @@ func runMap(args []string) error {
 	}
 	cfg := core.Config{Name: name, Selector: sel, Split: split}
 	var rec *trace.Recorder
-	if *tracePath != "" {
+	if *tracePath != "" || *metricsPath != "" {
 		// Assign only when recording: a typed-nil *Recorder in the
 		// interface field would not read as "tracing off".
 		rec = trace.NewRecorder()
 		cfg.Tracer = rec
+	}
+	// finish exports whatever observability outputs were requested; every
+	// successful mapping path ends through it.
+	finish := func() error {
+		if err := writeTrace(rec, *tracePath); err != nil {
+			return err
+		}
+		return writeMetrics(rec, *metricsPath)
 	}
 
 	// Reference index: either a verified on-disk artifact (-index) or an
@@ -423,7 +432,7 @@ func runMap(args []string) error {
 		}); err != nil {
 			return err
 		}
-		return writeTrace(rec, *tracePath)
+		return finish()
 	}
 
 	rf, err := os.Open(*readsPath)
@@ -448,7 +457,7 @@ func runMap(args []string) error {
 			*maxLoc, int32(*minInsert), int32(*maxInsert), *outPath); err != nil {
 			return err
 		}
-		return writeTrace(rec, *tracePath)
+		return finish()
 	}
 
 	wallStart := time.Now()
@@ -499,13 +508,13 @@ func runMap(args []string) error {
 	for dev, sec := range res.DeviceSeconds {
 		fmt.Fprintf(os.Stderr, "  %-32s %.3f s busy\n", dev, sec)
 	}
-	return writeTrace(rec, *tracePath)
+	return finish()
 }
 
 // writeTrace validates and exports the recorded trace, if recording was
 // requested.
 func writeTrace(rec *trace.Recorder, path string) error {
-	if rec == nil {
+	if rec == nil || path == "" {
 		return nil
 	}
 	if err := rec.Validate(); err != nil {
@@ -523,6 +532,33 @@ func writeTrace(rec *trace.Recorder, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
+	return nil
+}
+
+// writeMetrics exports the run's metric snapshot, if requested: the
+// Prometheus text exposition for a .prom path, deterministic JSON
+// otherwise.
+func writeMetrics(rec *trace.Recorder, path string) error {
+	if rec == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := rec.Metrics()
+	if strings.HasSuffix(path, ".prom") {
+		err = snap.WritePrometheus(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metric snapshot to %s\n", path)
 	return nil
 }
 

@@ -15,6 +15,10 @@ func TestLockGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", pipevet.LockGuard, "lockguard")
 }
 
+func TestLockGuardBreaker(t *testing.T) {
+	analysistest.Run(t, "testdata", pipevet.LockGuard, "breakerguard")
+}
+
 func TestErrWrap(t *testing.T) {
 	analysistest.Run(t, "testdata", pipevet.ErrWrap, "errwrap")
 }

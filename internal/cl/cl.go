@@ -155,6 +155,15 @@ type Device struct {
 	// faults is the armed fault-injection plan plus its ordinal
 	// counters; nil (the default) injects nothing. See InstallFaults.
 	faults *faultState // guarded by mu
+	// breaker is the device's circuit breaker; nil (the default) means
+	// health tracking is off. See EnableBreaker. The Breaker carries its
+	// own lock — mu only guards the pointer.
+	breaker *Breaker // guarded by mu
+	// watchdogK is the hang-watchdog multiple: an enqueue whose simulated
+	// duration exceeds watchdogK × the unthrottled cost-model expectation
+	// fails with CommandTerminated. 0 (the default) disarms. See
+	// SetWatchdog.
+	watchdogK float64 // guarded by mu
 }
 
 // Occupancy returns how many work items one CU co-executes for a kernel
@@ -249,6 +258,12 @@ func (c *Context) AllocBuffer(dev *Device, size int64) (*Buffer, error) {
 			t.Instant(dev.Name, "alloc",
 				trace.I64("bytes", size), trace.I64("allocated_bytes", c.Allocated(dev)))
 		}
+	}
+	// Only failures feed the breaker here: a successful allocation is
+	// cheap bookkeeping, and letting it decay the failure score would
+	// mask a device whose kernels keep dying between buffer setups.
+	if err != nil {
+		feedBreaker(dev, err, c.tracer)
 	}
 	return b, err
 }
@@ -461,6 +476,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 				t.Instant(q.dev.Name, "enqueue-fault",
 					trace.Str("kernel", k.Name), trace.Str("error", ferr.Error()))
 			}
+			feedBreaker(q.dev, ferr, q.tracer)
 			return Event{}, ferr
 		}
 		throttle = factor
@@ -471,6 +487,7 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 			t.Instant(q.dev.Name, "enqueue-fault",
 				trace.Str("kernel", k.Name), trace.Str("error", err.Error()))
 		}
+		feedBreaker(q.dev, err, q.tracer)
 		return Event{}, err
 	}
 	ev := Event{
@@ -479,6 +496,32 @@ func (q *Queue) EnqueueNDRange(k *Kernel, globalSize int) (Event, error) {
 		Cost:       total,
 		SimSeconds: q.dev.simSeconds(k, total, throttle),
 	}
+	// Hang watchdog: compare the (possibly throttled) duration against
+	// the cost model's unthrottled expectation for the same work. An
+	// overrun means the runtime would have killed the command at the
+	// budget: the device is charged exactly the budget, no event or cost
+	// is recorded (the retry re-executes the idempotent kernel), and the
+	// caller gets the typed transient timeout.
+	if wk := q.dev.WatchdogFactor(); wk > 0 {
+		if budget := wk * q.dev.simSeconds(k, total, 1); ev.SimSeconds > budget {
+			q.ChargePenalty(budget)
+			werr := &Error{
+				Code: CommandTerminated, Op: "enqueue", Device: q.dev.Name, Kernel: k.Name,
+				Detail: fmt.Sprintf("watchdog: %.3gs exceeds %g× expected %.3gs",
+					ev.SimSeconds, wk, budget/wk),
+			}
+			if t := q.tracer; t != nil {
+				//pipevet:allow hotalloc -- tracing-enabled path only, one instant per watchdog kill
+				t.Instant(q.dev.Name, "watchdog-fired",
+					trace.Str("kernel", k.Name),
+					trace.F64("budget_sec", budget),
+					trace.F64("overrun_sec", ev.SimSeconds))
+			}
+			feedBreaker(q.dev, werr, q.tracer)
+			return Event{}, werr
+		}
+	}
+	feedBreaker(q.dev, nil, q.tracer)
 	busyStart := q.busyTotal
 	q.events = append(q.events, ev)
 	q.busyTotal += ev.SimSeconds

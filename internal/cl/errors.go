@@ -28,6 +28,13 @@ const (
 	OutOfResources             Code = -5
 	InvalidMemObject           Code = -38
 	InvalidGlobalWorkSize      Code = -63
+	// CommandTerminated is the synthetic status the hang watchdog raises
+	// when an enqueue overruns its simulated-time budget (Device.SetWatchdog).
+	// The value is ARM's cl_arm_terminate extension code
+	// CL_COMMAND_TERMINATED_ITSELF_WITH_FAILURE_ARM — the one real OpenCL
+	// status that means "the runtime killed a running command" — so the
+	// taxonomy stays within codes an embedded deployment would actually see.
+	CommandTerminated Code = -1108
 )
 
 func (c Code) String() string {
@@ -44,6 +51,8 @@ func (c Code) String() string {
 		return "CL_INVALID_MEM_OBJECT"
 	case InvalidGlobalWorkSize:
 		return "CL_INVALID_GLOBAL_WORK_SIZE"
+	case CommandTerminated:
+		return "CL_COMMAND_TERMINATED_ITSELF_WITH_FAILURE_ARM"
 	default:
 		return fmt.Sprintf("CL_ERROR(%d)", int32(c))
 	}
@@ -56,10 +65,12 @@ func (c Code) Error() string { return c.String() }
 // Transient reports whether the condition may clear on its own and is
 // worth retrying on the same device: launch and allocation resources can
 // come back (another kernel retires, a buffer frees, thermal headroom
-// returns); a lost device does not.
+// returns), and a watchdog-terminated command was killed for running
+// slow, not for computing wrong — the re-execution is bit-identical and
+// may land outside the throttle window; a lost device does not.
 func (c Code) Transient() bool {
 	switch c {
-	case OutOfResources, MemObjectAllocationFailure:
+	case OutOfResources, MemObjectAllocationFailure, CommandTerminated:
 		return true
 	}
 	return false
@@ -147,4 +158,14 @@ func IsAllocFailure(err error) bool {
 // IsDeviceLost reports whether err marks the device permanently gone.
 func IsDeviceLost(err error) bool {
 	return errors.Is(err, DeviceNotAvailable)
+}
+
+// IsWatchdogTimeout reports whether err is a hang-watchdog termination —
+// the synthetic CommandTerminated fault a Device.SetWatchdog budget
+// overrun raises. Watchdog kills are transient (IsTransient is also
+// true), so the retry/failover machinery needs no special case; this
+// predicate exists for accounting (FaultStats.WatchdogFires) and for
+// breaker policies that weight hangs differently from resource squeezes.
+func IsWatchdogTimeout(err error) bool {
+	return errors.Is(err, CommandTerminated)
 }

@@ -61,6 +61,15 @@ type FaultPlan struct {
 	FailAllocs map[int]Code
 	// Throttles slow enqueue windows; overlapping windows compound.
 	Throttles []Throttle
+	// Device restricts which member of a device group the plan targets:
+	// 0 (the default) means every device the caller arms; K >= 1 means
+	// only the Kth device (1-based) of the group. The injector itself
+	// ignores the field — it is addressing metadata for the installer
+	// (serve arms a job's plan only on the selected member of the job's
+	// partition; core's env chaos hook arms only the Kth pipeline
+	// device), which is what lets a multi-device chaos run lose one
+	// device while its partition partners stay healthy.
+	Device int
 }
 
 // faultState is a FaultPlan armed on one device: the plan plus the
@@ -187,6 +196,8 @@ func (s *faultState) admitAlloc(dev string, size int64) error {
 //	enqN=CODE       fail the Nth enqueue
 //	allocN=CODE     fail the Nth allocation
 //	throttleA-B=F   multiply LaneHz by F for enqueues A..B
+//	device=K        target only the Kth device (1-based) of the group
+//	                the installer would arm (see FaultPlan.Device)
 //
 // with CODE one of "oor" (CL_OUT_OF_RESOURCES), "alloc"
 // (CL_MEM_OBJECT_ALLOCATION_FAILURE) or "lost"
@@ -203,6 +214,12 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 			return nil, fmt.Errorf("%w: directive %q: missing '='", ErrBadFaultPlan, tok)
 		}
 		switch {
+		case key == "device":
+			n, err := parseOrdinal(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault directive %q: %w", tok, err)
+			}
+			p.Device = n
 		case strings.HasPrefix(key, "enq"):
 			n, err := parseOrdinal(key[len("enq"):])
 			if err != nil {

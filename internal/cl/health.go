@@ -1,0 +1,284 @@
+package cl
+
+// Device health: a per-device circuit breaker and a simulated-time hang
+// watchdog. Together they are the detection half of the fault-tolerance
+// story — the typed taxonomy (errors.go) classifies a single failure,
+// the breaker classifies the *device* from its failure history, and the
+// watchdog turns a silent hang (an enqueue whose simulated duration
+// blows past the cost model's expectation) into an ordinary typed fault
+// the existing retry/failover machinery already knows how to recover.
+//
+// Everything here is deterministic by construction: breaker transitions
+// are driven by the per-device operation sequence (the same ordinal
+// schedule fault plans count on) and by explicit Skipped() cooldown
+// ticks — never by wall-clock time or randomness — so a chaos run
+// produces the same breaker history every time (pipedeterminism-clean).
+//
+// DESIGN.md §17 documents the state machine and the watchdog threshold
+// derivation.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// BreakerState is a circuit breaker's position: Closed (healthy,
+// admitting work), HalfOpen (probing — the next batch is a canary) or
+// Open (quarantined — excluded from new partitions and assignments).
+type BreakerState int32
+
+// Breaker states. The numeric values are the device_breaker_state gauge
+// encoding, chosen so "bigger is sicker".
+const (
+	BreakerClosed   BreakerState = 0
+	BreakerHalfOpen BreakerState = 1
+	BreakerOpen     BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// BreakerConfig tunes a device circuit breaker. The zero value selects
+// the documented defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the decayed failure score at which the breaker
+	// opens (default 3): three transient faults in a row trip it, while
+	// isolated faults decay away between successes.
+	FailureThreshold float64
+	// SuccessDecay multiplies the failure score on every successful
+	// operation (default 0.5, must be in [0, 1)).
+	SuccessDecay float64
+	// CooldownSkips is how many times an open device must be passed over
+	// (Skipped) before it goes half-open and admits a canary (default 1).
+	CooldownSkips int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.SuccessDecay <= 0 || c.SuccessDecay >= 1 {
+		c.SuccessDecay = 0.5
+	}
+	if c.CooldownSkips <= 0 {
+		c.CooldownSkips = 1
+	}
+	return c
+}
+
+// Breaker is a per-device circuit breaker: closed → open → half-open →
+// closed. Transient faults (including watchdog terminations) feed a
+// decaying failure score; device loss trips the breaker immediately; a
+// half-open breaker re-closes on its first success (the canary passed)
+// and re-opens on its first failure. All transitions are counted-not-
+// clocked, so breaker history under a scheduled fault plan is exactly
+// reproducible.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	score    float64      // guarded by mu; decayed failure score
+	skips    int          // guarded by mu; pass-overs while open
+	trips    int64        // guarded by mu; transitions into Open
+	readmits int64        // guarded by mu; half-open canaries that closed it
+}
+
+// NewBreaker builds a standalone breaker; most callers use
+// Device.EnableBreaker instead.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has entered Open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Readmits returns how many half-open canaries have re-closed the
+// breaker.
+func (b *Breaker) Readmits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readmits
+}
+
+// RecordSuccess feeds one successful device operation. In Closed it
+// decays the failure score; in HalfOpen the operation was the canary and
+// the breaker re-closes. Returns the resulting state and whether this
+// call transitioned it.
+func (b *Breaker) RecordSuccess() (BreakerState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.score *= b.cfg.SuccessDecay
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.score = 0
+		b.readmits++
+		return b.state, true
+	}
+	return b.state, false
+}
+
+// RecordFailure feeds one failed device operation. Device loss trips the
+// breaker immediately; transient faults (resource squeezes, watchdog
+// terminations) raise the decaying score and trip it at the threshold; a
+// failure in HalfOpen means the canary died and the breaker re-opens.
+// Non-transient, non-loss errors (host-program bugs like invalid work
+// sizes) say nothing about device health and are ignored. Returns the
+// resulting state and whether this call transitioned it.
+func (b *Breaker) RecordFailure(err error) (BreakerState, bool) {
+	lost := IsDeviceLost(err)
+	if !lost && !IsTransient(err) {
+		return b.State(), false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !lost {
+		b.score++
+	}
+	switch {
+	case b.state == BreakerOpen:
+		return b.state, false
+	case lost || b.state == BreakerHalfOpen || b.score >= b.cfg.FailureThreshold:
+		b.state = BreakerOpen
+		b.skips = 0
+		b.trips++
+		return b.state, true
+	}
+	return b.state, false
+}
+
+// Skipped records that a scheduler passed over the device because the
+// breaker was open — the cooldown clock, counted in scheduling decisions
+// rather than seconds so chaos runs stay deterministic. After
+// CooldownSkips pass-overs the breaker goes half-open and the next
+// operation is the canary. Returns the resulting state and whether this
+// call transitioned it.
+func (b *Breaker) Skipped() (BreakerState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return b.state, false
+	}
+	b.skips++
+	if b.skips >= b.cfg.CooldownSkips {
+		b.state = BreakerHalfOpen
+		b.score = 0
+		b.skips = 0
+		return b.state, true
+	}
+	return b.state, false
+}
+
+// EnableBreaker arms a circuit breaker on the device (idempotent: an
+// already-armed breaker is returned unchanged, keeping its history).
+// Once armed, every enqueue and allocation on the device feeds it, and
+// health-aware schedulers (core.Pipeline.Map, the serve partition
+// allocator) exclude the device while it is open.
+func (d *Device) EnableBreaker(cfg BreakerConfig) *Breaker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.breaker == nil {
+		d.breaker = NewBreaker(cfg)
+	}
+	return d.breaker
+}
+
+// Breaker returns the device's circuit breaker, or nil when none is
+// armed.
+func (d *Device) Breaker() *Breaker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.breaker
+}
+
+// BreakerState returns the device's breaker state; a device without a
+// breaker is always Closed (healthy).
+func (d *Device) BreakerState() BreakerState {
+	b := d.Breaker()
+	if b == nil {
+		return BreakerClosed
+	}
+	return b.State()
+}
+
+// SetWatchdog arms the hang watchdog: an enqueue whose simulated
+// duration exceeds factor × the cost model's unthrottled expectation for
+// the same kernel and cost fails with CommandTerminated after charging
+// the full budget as device time — the simulated analogue of a runtime
+// killing a kernel that blew its timeout. factor <= 0 disarms. The
+// threshold derives from the device's own cost model, so it is exact and
+// deterministic: only genuinely slowed execution (a throttle window, a
+// contended lane) can overrun it.
+func (d *Device) SetWatchdog(factor float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if factor <= 0 {
+		factor = 0
+	}
+	d.watchdogK = factor
+}
+
+// WatchdogFactor returns the armed watchdog multiple (0 = disarmed).
+func (d *Device) WatchdogFactor() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.watchdogK
+}
+
+// feedBreaker feeds one operation outcome to dev's breaker (no-op when
+// none is armed) and, on a state transition, emits a "breaker-open" or
+// "breaker-closed" instant on the device's lane so quarantine and
+// readmission are visible in traces and derivable as metrics
+// (device_quarantined_total, device_readmitted_total). The enqueue path
+// feeds both outcomes; the alloc path feeds failures only, so the
+// successful bookkeeping allocations between kernel launches cannot
+// decay away the score of a device whose kernels keep dying. Attr-free
+// instants keep the hot path allocation-free.
+//
+//repute:hotpath
+func feedBreaker(dev *Device, opErr error, tr trace.Tracer) {
+	b := dev.Breaker()
+	if b == nil {
+		return
+	}
+	var (
+		state   BreakerState
+		changed bool
+	)
+	if opErr == nil {
+		state, changed = b.RecordSuccess()
+	} else {
+		state, changed = b.RecordFailure(opErr)
+	}
+	if !changed || tr == nil {
+		return
+	}
+	switch state {
+	case BreakerOpen:
+		tr.Instant(dev.Name, "breaker-open")
+	case BreakerClosed:
+		tr.Instant(dev.Name, "breaker-closed")
+	}
+}

@@ -1,0 +1,261 @@
+package cl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// breakerEvent is one step of a table-driven breaker scenario.
+type breakerEvent struct {
+	op         string // "ok", "transient", "lost", "launch", "skip"
+	wantState  BreakerState
+	wantChange bool
+}
+
+func (e breakerEvent) apply(t *testing.T, b *Breaker, step int) {
+	t.Helper()
+	var (
+		state   BreakerState
+		changed bool
+	)
+	switch e.op {
+	case "ok":
+		state, changed = b.RecordSuccess()
+	case "transient":
+		state, changed = b.RecordFailure(&Error{Code: OutOfResources, Op: "enqueue", Device: "d"})
+	case "lost":
+		state, changed = b.RecordFailure(&Error{Code: DeviceNotAvailable, Op: "enqueue", Device: "d"})
+	case "watchdog":
+		state, changed = b.RecordFailure(&Error{Code: CommandTerminated, Op: "enqueue", Device: "d"})
+	case "launch":
+		state, changed = b.RecordFailure(&Error{Code: OutOfResources, Op: "launch", Kernel: "k"})
+	case "skip":
+		state, changed = b.Skipped()
+	default:
+		t.Fatalf("step %d: unknown op %q", step, e.op)
+	}
+	if state != e.wantState || changed != e.wantChange {
+		t.Fatalf("step %d (%s): got state %v changed %v, want %v/%v",
+			step, e.op, state, changed, e.wantState, e.wantChange)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    BreakerConfig
+		events []breakerEvent
+	}{
+		{
+			name: "device loss trips immediately",
+			events: []breakerEvent{
+				{"ok", BreakerClosed, false},
+				{"lost", BreakerOpen, true},
+				{"transient", BreakerOpen, false}, // in-flight stragglers don't re-trip
+			},
+		},
+		{
+			name: "consecutive transients reach the threshold",
+			events: []breakerEvent{
+				{"transient", BreakerClosed, false},
+				{"transient", BreakerClosed, false},
+				{"transient", BreakerOpen, true},
+			},
+		},
+		{
+			name: "successes decay the score back",
+			events: []breakerEvent{
+				{"transient", BreakerClosed, false},
+				{"transient", BreakerClosed, false}, // score 2
+				{"ok", BreakerClosed, false},        // decays to 1
+				{"ok", BreakerClosed, false},        // decays to 0.5
+				{"transient", BreakerClosed, false}, // 1.5 < threshold
+				{"transient", BreakerClosed, false}, // 2.5 < threshold
+				{"transient", BreakerOpen, true},    // 3.5 trips
+			},
+		},
+		{
+			name: "watchdog terminations count as transient failures",
+			events: []breakerEvent{
+				{"watchdog", BreakerClosed, false},
+				{"watchdog", BreakerClosed, false},
+				{"watchdog", BreakerOpen, true},
+			},
+		},
+		{
+			name: "launch faults are program bugs, not device health",
+			events: []breakerEvent{
+				{"launch", BreakerClosed, false},
+				{"launch", BreakerClosed, false},
+				{"launch", BreakerClosed, false},
+				{"launch", BreakerClosed, false},
+			},
+		},
+		{
+			name: "cooldown skips reach half-open, canary success closes",
+			cfg:  BreakerConfig{CooldownSkips: 2},
+			events: []breakerEvent{
+				{"lost", BreakerOpen, true},
+				{"skip", BreakerOpen, false},
+				{"skip", BreakerHalfOpen, true},
+				{"ok", BreakerClosed, true},
+				{"skip", BreakerClosed, false}, // skip on a closed breaker is a no-op
+			},
+		},
+		{
+			name: "half-open canary failure reopens",
+			events: []breakerEvent{
+				{"lost", BreakerOpen, true},
+				{"skip", BreakerHalfOpen, true},
+				{"transient", BreakerOpen, true},
+				{"skip", BreakerHalfOpen, true},
+				{"ok", BreakerClosed, true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(tc.cfg)
+			for i, e := range tc.events {
+				e.apply(t, b, i)
+			}
+		})
+	}
+}
+
+func TestBreakerCounters(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	b.RecordFailure(&Error{Code: DeviceNotAvailable, Op: "enqueue"})
+	b.Skipped()
+	b.RecordFailure(&Error{Code: OutOfResources, Op: "enqueue"}) // canary fails
+	b.Skipped()
+	b.RecordSuccess() // canary passes
+	if got := b.Trips(); got != 2 {
+		t.Errorf("Trips() = %d, want 2", got)
+	}
+	if got := b.Readmits(); got != 1 {
+		t.Errorf("Readmits() = %d, want 1", got)
+	}
+}
+
+func TestDeviceBreakerFedByEnqueueAndAlloc(t *testing.T) {
+	dev := SystemOneCPU()
+	dev.EnableBreaker(BreakerConfig{FailureThreshold: 1})
+	dev.InstallFaults(&FaultPlan{FailEnqueues: map[int]Code{1: DeviceNotAvailable}})
+	rec := trace.NewRecorder()
+	q := NewQueue(dev)
+	q.SetTracer(rec)
+	if _, err := q.EnqueueNDRange(itemKernel(), 4); !IsDeviceLost(err) {
+		t.Fatalf("EnqueueNDRange error = %v, want device lost", err)
+	}
+	if got := dev.BreakerState(); got != BreakerOpen {
+		t.Fatalf("breaker state after device loss = %v, want open", got)
+	}
+	opens := 0
+	for _, ev := range rec.Events() {
+		if ev.Name == "breaker-open" {
+			opens++
+		}
+	}
+	if opens != 1 {
+		t.Errorf("breaker-open instants = %d, want 1", opens)
+	}
+
+	// A fresh device's breaker trips on a single injected transient alloc
+	// failure at threshold 1; a structural alloc failure on another does
+	// not (it says nothing about device health).
+	inj := SystemOneCPU()
+	inj.EnableBreaker(BreakerConfig{FailureThreshold: 1})
+	inj.InstallFaults(&FaultPlan{FailAllocs: map[int]Code{1: MemObjectAllocationFailure}})
+	ctx := NewContext()
+	if _, err := ctx.AllocBuffer(inj, 64); !IsAllocFailure(err) {
+		t.Fatalf("AllocBuffer error = %v, want alloc failure", err)
+	}
+	if got := inj.BreakerState(); got != BreakerOpen {
+		t.Errorf("breaker state after injected alloc failure = %v, want open", got)
+	}
+	str := SystemOneCPU()
+	str.EnableBreaker(BreakerConfig{FailureThreshold: 1})
+	if _, err := ctx.AllocBuffer(str, str.MaxAlloc+1); err == nil {
+		t.Fatal("oversized alloc succeeded")
+	}
+	if got := str.BreakerState(); got != BreakerClosed {
+		t.Errorf("breaker state after structural alloc failure = %v, want closed", got)
+	}
+}
+
+func TestWatchdogFiresOnThrottledEnqueue(t *testing.T) {
+	// SystemOne's CPU has no launch overhead and no transfer link, so a
+	// throttled enqueue overruns the unthrottled expectation by exactly
+	// 1/factor: factor 0.1 against watchdog 4 fires, factor 0.5 does not.
+	dev := SystemOneCPU()
+	dev.SetWatchdog(4)
+	dev.InstallFaults(&FaultPlan{Throttles: []Throttle{{From: 1, To: 1, Factor: 0.1}}})
+	rec := trace.NewRecorder()
+	q := NewQueue(dev)
+	q.SetTracer(rec)
+
+	_, err := q.EnqueueNDRange(itemKernel(), 1024)
+	if !IsWatchdogTimeout(err) {
+		t.Fatalf("throttled enqueue error = %v, want watchdog timeout", err)
+	}
+	if !IsTransient(err) {
+		t.Error("watchdog timeout is not transient — it would skip the in-place retry tier")
+	}
+	if errors.Is(err, DeviceNotAvailable) {
+		t.Error("watchdog timeout must not classify as device loss")
+	}
+	// The kill charges exactly the budget: 4× the unthrottled duration.
+	expected := dev.simSeconds(itemKernel(), Cost{Items: 1024}, 1)
+	busy, _ := q.Finish()
+	if want := 4 * expected; math.Abs(busy-want) > 1e-12 {
+		t.Errorf("busy after watchdog kill = %g, want the %g budget", busy, want)
+	}
+	if len(q.Events()) != 0 {
+		t.Errorf("watchdog-killed enqueue recorded %d events, want 0", len(q.Events()))
+	}
+	fired := false
+	for _, ev := range rec.Events() {
+		if ev.Name == "watchdog-fired" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("no watchdog-fired instant recorded")
+	}
+
+	// Past the throttle window the same enqueue is healthy again.
+	if _, err := q.EnqueueNDRange(itemKernel(), 1024); err != nil {
+		t.Fatalf("post-window enqueue failed: %v", err)
+	}
+
+	// A mild throttle within the watchdog multiple never fires.
+	mild := SystemOneCPU()
+	mild.SetWatchdog(4)
+	mild.InstallFaults(&FaultPlan{Throttles: []Throttle{{From: 1, To: 1, Factor: 0.5}}})
+	if _, err := NewQueue(mild).EnqueueNDRange(itemKernel(), 1024); err != nil {
+		t.Fatalf("mild throttle enqueue failed: %v", err)
+	}
+}
+
+func TestParseFaultPlanDeviceDirective(t *testing.T) {
+	p, err := ParseFaultPlan("device=2,enq3=lost,throttle1-2=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Device != 2 {
+		t.Errorf("Device = %d, want 2", p.Device)
+	}
+	if p.FailEnqueues[3] != DeviceNotAvailable || len(p.Throttles) != 1 {
+		t.Errorf("directives around device= were lost: %+v", p)
+	}
+	if _, err := ParseFaultPlan("device=0"); !errors.Is(err, ErrBadFaultPlan) {
+		t.Errorf("device=0 error = %v, want ErrBadFaultPlan", err)
+	}
+	if _, err := ParseFaultPlan("device=x"); !errors.Is(err, ErrBadFaultPlan) {
+		t.Errorf("device=x error = %v, want ErrBadFaultPlan", err)
+	}
+}

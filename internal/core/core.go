@@ -406,7 +406,10 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 	// Chaos hook: REPUTE_CL_FAULTS arms its plan on every device that has
 	// no explicit one, turning any pipeline run into a fault-recovery run.
 	if plan := cl.EnvFaultPlan(); plan != nil {
-		for _, dev := range p.devices {
+		for i, dev := range p.devices {
+			if plan.Device > 0 && plan.Device != i+1 {
+				continue // device=K targets only the Kth pipeline device
+			}
 			if !dev.FaultsInstalled() {
 				dev.InstallFaults(plan)
 			}
@@ -484,9 +487,44 @@ func (p *Pipeline) Map(reads [][]byte, opt mapper.Options) (*mapper.Result, erro
 		}
 	}
 
+	// Health-aware eligibility: a device whose circuit breaker is open is
+	// quarantined — it starts ineligible and its initial assignment
+	// redistributes to the healthy devices before the first round, in
+	// both geometries. Passing over an open breaker ticks its cooldown
+	// (Skipped), so a long-quarantined device eventually goes half-open
+	// and the next Map call admits it for a canary. Half-open devices are
+	// eligible: their first batch is the canary, and a canary failure
+	// reopens the breaker and fails the device over mid-run.
 	eligible := make([]bool, len(p.devices))
-	for i := range eligible {
+	var quarantined []unit
+	for i, dev := range p.devices {
 		eligible[i] = true
+		brk := dev.Breaker()
+		if brk == nil || brk.State() != cl.BreakerOpen {
+			continue
+		}
+		if st, changed := brk.Skipped(); changed && st == cl.BreakerHalfOpen {
+			if t := p.tracer; t != nil {
+				t.Instant(dev.Name, "breaker-half-open")
+			}
+			continue
+		}
+		eligible[i] = false
+		if t := p.tracer; t != nil {
+			t.Instant(dev.Name, "quarantine-skip",
+				trace.I64("unmapped_reads", int64(unitReads(assign[i]))))
+		}
+		quarantined = append(quarantined, assign[i]...)
+		assign[i] = nil
+	}
+	if len(quarantined) > 0 {
+		moved := p.redistribute(quarantined, eligible)
+		if moved == nil {
+			return nil, fmt.Errorf("core: every device is quarantined by its circuit breaker")
+		}
+		for di, units := range moved {
+			assign[di] = append(assign[di], units...)
+		}
 	}
 	ran := make([]bool, len(p.devices))
 	var devErrs []error
@@ -848,6 +886,9 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, units []unit, r
 				backoff = opt.RetryBackoffSimSec
 				continue
 			}
+			if cl.IsWatchdogTimeout(err) {
+				o.stats.WatchdogFires++
+			}
 			switch {
 			case cl.IsAllocFailure(err) && end-start > 1:
 				// OpenCL's static-allocation wall: halve the batch and go
@@ -858,7 +899,10 @@ func (p *Pipeline) mapOnDevice(ctx *cl.Context, queue *cl.Queue, units []unit, r
 					t.Instant(dev.Name, "batch-halved",
 						trace.I64("batch", int64(batch)), trace.Str("error", err.Error()))
 				}
-			case cl.IsTransient(err) && attempts < opt.Retries:
+			// In-place retries are pointless once the device's breaker has
+			// opened (a failed half-open canary, or the failure score
+			// crossing the threshold): the work fails over instead.
+			case cl.IsTransient(err) && attempts < opt.Retries && dev.BreakerState() != cl.BreakerOpen:
 				attempts++
 				queue.ChargePenalty(backoff)
 				o.stats.Retries++
@@ -890,7 +934,8 @@ func (p *Pipeline) allocWithRetry(ctx *cl.Context, queue *cl.Queue, size int64, 
 		if err == nil {
 			return buf, nil
 		}
-		if !cl.IsTransient(err) || attempts >= opt.Retries {
+		if !cl.IsTransient(err) || attempts >= opt.Retries ||
+			queue.Device().BreakerState() == cl.BreakerOpen {
 			return nil, err
 		}
 		queue.ChargePenalty(backoff)

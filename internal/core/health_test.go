@@ -1,0 +1,314 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/cl"
+	"repro/internal/mapper"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+// tripBreaker arms a breaker on dev with cfg and trips it open, the way
+// a lost device would have.
+func tripBreaker(t *testing.T, dev *cl.Device, cfg cl.BreakerConfig) *cl.Breaker {
+	t.Helper()
+	b := dev.EnableBreaker(cfg)
+	if st, changed := b.RecordFailure(&cl.Error{
+		Code: cl.DeviceNotAvailable, Op: "enqueue", Device: dev.Name,
+	}); st != cl.BreakerOpen || !changed {
+		t.Fatalf("tripping breaker on %s: state %v changed %v", dev.Name, st, changed)
+	}
+	return b
+}
+
+func countInstants(rec *trace.Recorder, name string) int {
+	n := 0
+	for _, ev := range rec.Events() {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMapQuarantinesOpenBreaker: a device whose breaker is open never
+// runs — its initial share redistributes to the healthy partner before
+// the first round, the mappings match a fault-free baseline, and the
+// quarantine is visible as an instant rather than a device failure.
+func TestMapQuarantinesOpenBreaker(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, set, mkDevs, maxLoc := faultWorld(t, 80)
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	baselineP, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineP.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devs := mkDevs()
+	// CooldownSkips 3: one Map call ticks Skipped once, so the breaker
+	// stays open for the whole run and CPU-B is fully quarantined.
+	tripBreaker(t, devs[1], cl.BreakerConfig{CooldownSkips: 3})
+	rec := trace.NewRecorder()
+	p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: cl.Serial, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMappings(t, baseline.Mappings, res.Mappings)
+	if res.DeviceSeconds["CPU-B"] != 0 {
+		t.Errorf("quarantined CPU-B ran anyway: %v", res.DeviceSeconds)
+	}
+	if len(res.Faults.FailedDevices) != 0 {
+		t.Errorf("quarantine recorded as device failure: %v", res.Faults.FailedDevices)
+	}
+	if n := countInstants(rec, "quarantine-skip"); n != 1 {
+		t.Errorf("quarantine-skip instants = %d, want 1", n)
+	}
+	if got := devs[1].BreakerState(); got != cl.BreakerOpen {
+		t.Errorf("breaker state after one pass-over = %v, want still open", got)
+	}
+}
+
+// TestMapAllQuarantinedErrors: when every device is quarantined the run
+// fails up front with a typed message instead of hanging.
+func TestMapAllQuarantinedErrors(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, set := testWorld(t, 20_000, 20, simulate.ERR012100)
+	dev := cl.SystemOneCPU()
+	tripBreaker(t, dev, cl.BreakerConfig{CooldownSkips: 5})
+	p, err := New(ref, []*cl.Device{dev}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Map(set.Reads, mapper.Options{MaxErrors: 3, MaxLocations: 50})
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("all-quarantined Map error = %v, want quarantine message", err)
+	}
+}
+
+// TestWatchdogChaosMatchesBaseline: a throttle window deep enough to
+// overrun the watchdog budget kills two enqueues mid-run; both are
+// retried in place and the mappings stay bit-identical to a fault-free
+// baseline, serially and in parallel, with the kills visible only in
+// FaultStats.WatchdogFires. The armed breaker absorbs the two transient
+// kills without tripping (score 2 < threshold 3, then decay).
+func TestWatchdogChaosMatchesBaseline(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	ref, set, mkDevs, maxLoc := faultWorld(t, 80)
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	baselineP, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineP.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mode cl.ExecMode) (*mapper.Result, *trace.Recorder, []*cl.Device) {
+		devs := mkDevs()
+		devs[0].SetWatchdog(4)
+		devs[0].EnableBreaker(cl.BreakerConfig{})
+		// Factor 0.1 slows the compute 10×, past the 4× budget: enqueue
+		// ordinals 2 and 3 are watchdog-killed, their retries land on
+		// clean ordinals.
+		devs[0].InstallFaults(&cl.FaultPlan{
+			Throttles: []cl.Throttle{{From: 2, To: 3, Factor: 0.1}},
+		})
+		rec := trace.NewRecorder()
+		p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: mode, Tracer: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Map(set.Reads, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec, devs
+	}
+	serial, rec, devs := run(cl.Serial)
+	parallel, _, _ := run(cl.Parallel)
+
+	sameMappings(t, baseline.Mappings, serial.Mappings)
+	sameMappings(t, baseline.Mappings, parallel.Mappings)
+	if serial.Faults.WatchdogFires != 2 {
+		t.Errorf("WatchdogFires = %d, want 2", serial.Faults.WatchdogFires)
+	}
+	if serial.Faults.Retries < 2 {
+		t.Errorf("watchdog kills were not retried: %+v", serial.Faults)
+	}
+	if len(serial.Faults.FailedDevices) != 0 {
+		t.Errorf("recovered watchdog kills failed the device: %v", serial.Faults.FailedDevices)
+	}
+	if !reflect.DeepEqual(serial.Faults, parallel.Faults) {
+		t.Errorf("FaultStats differ:\nserial   %+v\nparallel %+v",
+			serial.Faults, parallel.Faults)
+	}
+	if n := countInstants(rec, "watchdog-fired"); n != 2 {
+		t.Errorf("watchdog-fired instants = %d, want 2", n)
+	}
+	if got := devs[0].BreakerState(); got != cl.BreakerClosed {
+		t.Errorf("breaker after two absorbed kills = %v, want closed", got)
+	}
+}
+
+// TestWatchdogTripsBreakerAndFailsOver: with a breaker threshold of 2, a
+// sustained throttle turns the second watchdog kill into a breaker trip;
+// the in-place retry tier stands down and the device's share fails over
+// to its partner with the mappings intact.
+func TestWatchdogTripsBreakerAndFailsOver(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, set, mkDevs, maxLoc := faultWorld(t, 80)
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	baselineP, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineP.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devs := mkDevs()
+	devs[0].SetWatchdog(4)
+	devs[0].EnableBreaker(cl.BreakerConfig{FailureThreshold: 2})
+	// Every enqueue in the window overruns: kill → retry → kill → breaker
+	// opens at score 2 → no third in-place retry, CPU-A fails over.
+	devs[0].InstallFaults(&cl.FaultPlan{
+		Throttles: []cl.Throttle{{From: 1, To: 8, Factor: 0.1}},
+	})
+	rec := trace.NewRecorder()
+	p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: cl.Serial, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMappings(t, baseline.Mappings, res.Mappings)
+	if res.Faults.WatchdogFires != 2 {
+		t.Errorf("WatchdogFires = %d, want 2 (kill, retried kill)", res.Faults.WatchdogFires)
+	}
+	if len(res.Faults.FailedDevices) != 1 || res.Faults.FailedDevices[0] != "CPU-A" {
+		t.Errorf("FailedDevices = %v, want [CPU-A]", res.Faults.FailedDevices)
+	}
+	if res.Faults.FailoverReads < 1 {
+		t.Errorf("no failover accounted: %+v", res.Faults)
+	}
+	if got := devs[0].BreakerState(); got != cl.BreakerOpen {
+		t.Errorf("breaker after threshold trip = %v, want open", got)
+	}
+	if n := countInstants(rec, "breaker-open"); n != 1 {
+		t.Errorf("breaker-open instants = %d, want 1", n)
+	}
+}
+
+// TestShardedQuarantineMatchesSingle extends quarantine to the sharded
+// geometry: the open-breaker device's shard dispatch rehomes onto the
+// healthy device and the merged mappings equal the single-index run.
+func TestShardedQuarantineMatchesSingle(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, set, mkDevs, maxLoc := faultWorld(t, 80)
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	single, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devs := mkDevs()
+	tripBreaker(t, devs[1], cl.BreakerConfig{CooldownSkips: 3})
+	p, err := NewSharded(makeShards(ref, 3, 256, 0), 256, devs, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMappings(t, want.Mappings, got.Mappings)
+	if got.DeviceSeconds["CPU-B"] != 0 {
+		t.Errorf("quarantined CPU-B ran in sharded dispatch: %v", got.DeviceSeconds)
+	}
+}
+
+// TestHalfOpenCanaryReadmission: quarantine is not forever. Each Map
+// call that passes over an open breaker ticks its cooldown; once the
+// breaker goes half-open the device is eligible again, its first
+// operation is the canary, and a clean run re-closes the breaker.
+func TestHalfOpenCanaryReadmission(t *testing.T) {
+	t.Setenv("REPUTE_CL_FAULTS", "")
+	ref, set, mkDevs, maxLoc := faultWorld(t, 80)
+	opt := mapper.Options{MaxErrors: 3, MaxLocations: maxLoc}
+
+	baselineP, err := New(ref, []*cl.Device{cl.SystemOneCPU()}, Config{Exec: cl.Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baselineP.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devs := mkDevs()
+	brk := tripBreaker(t, devs[1], cl.BreakerConfig{CooldownSkips: 2})
+	rec := trace.NewRecorder()
+	p, err := New(ref, devs, Config{Split: []float64{0.5, 0.5}, Exec: cl.Serial, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Map 1: pass-over #1 — still open, CPU-B quarantined.
+	res1, err := p.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMappings(t, baseline.Mappings, res1.Mappings)
+	if got := brk.State(); got != cl.BreakerOpen {
+		t.Fatalf("breaker after first pass-over = %v, want open", got)
+	}
+
+	// Map 2: pass-over #2 reaches CooldownSkips — half-open, CPU-B runs
+	// its canary share and the first success re-closes the breaker.
+	res2, err := p.Map(set.Reads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMappings(t, baseline.Mappings, res2.Mappings)
+	if got := brk.State(); got != cl.BreakerClosed {
+		t.Errorf("breaker after clean canary = %v, want closed", got)
+	}
+	if got := brk.Readmits(); got != 1 {
+		t.Errorf("Readmits = %d, want 1", got)
+	}
+	if res2.DeviceSeconds["CPU-B"] <= 0 {
+		t.Errorf("readmitted CPU-B never ran: %v", res2.DeviceSeconds)
+	}
+	if n := countInstants(rec, "breaker-half-open"); n != 1 {
+		t.Errorf("breaker-half-open instants = %d, want 1", n)
+	}
+	if n := countInstants(rec, "breaker-closed"); n != 1 {
+		t.Errorf("breaker-closed instants = %d, want 1", n)
+	}
+}

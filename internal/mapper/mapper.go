@@ -129,6 +129,9 @@ type FaultStats struct {
 	// DeadlineReads counts reads migrated off devices that exceeded
 	// their simulated-seconds deadline.
 	DeadlineReads int
+	// WatchdogFires counts enqueues the hang watchdog terminated
+	// (cl.CommandTerminated) before recovery re-ran them.
+	WatchdogFires int
 	// FailedDevices lists devices lost permanently, in device order.
 	FailedDevices []string
 	// SkippedRecords counts input records a lenient-mode ingest dropped
@@ -142,7 +145,8 @@ type FaultStats struct {
 // Any reports whether any recovery action was taken.
 func (f FaultStats) Any() bool {
 	return f.Retries != 0 || f.DegradedBatches != 0 || f.FailoverReads != 0 ||
-		f.DeadlineReads != 0 || len(f.FailedDevices) != 0 || f.SkippedRecords != 0
+		f.DeadlineReads != 0 || f.WatchdogFires != 0 || len(f.FailedDevices) != 0 ||
+		f.SkippedRecords != 0
 }
 
 // Add accumulates o into f (used when a run spans several Map calls,
@@ -153,6 +157,7 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.DegradedBatches += o.DegradedBatches
 	f.FailoverReads += o.FailoverReads
 	f.DeadlineReads += o.DeadlineReads
+	f.WatchdogFires += o.WatchdogFires
 	f.FailedDevices = append(f.FailedDevices, o.FailedDevices...)
 	f.SkippedRecords += o.SkippedRecords
 	if len(o.SkipReasons) > 0 {

@@ -77,6 +77,11 @@ type Job struct {
 	Faults     string `json:"faults,omitempty"`      // X-Repute-Faults plan text
 	DeadlineMS int64  `json:"deadline_ms,omitempty"` // 0 = none
 	Bytes      int64  `json:"bytes"`                 // spooled upload size
+	// Devices is the partition size the job requested (?devices=K,
+	// default 1); Partition records which pool devices the latest attempt
+	// actually ran on.
+	Devices   int      `json:"devices,omitempty"`
+	Partition []string `json:"partition,omitempty"`
 	// Attempts counts runs started (1 on the first run); a job may
 	// retry until attempts exceeds the server's retry budget.
 	Attempts int `json:"attempts,omitempty"`
@@ -146,6 +151,9 @@ func newStore(dir string) (*store, error) {
 		j := &Job{}
 		if err := json.Unmarshal(b, j); err != nil || j.ID != e.Name() {
 			continue
+		}
+		if j.Devices < 1 {
+			j.Devices = 1 // spool entries written before partitions existed
 		}
 		s.jobs[j.ID] = j
 		if j.Seq >= s.nextSeq {
@@ -244,6 +252,18 @@ func (s *store) get(id string) (Job, bool) {
 		return Job{}, false
 	}
 	return *j, true
+}
+
+// peek returns a copy of the oldest queued job without dequeuing it, so
+// the scheduler can try to allocate its partition first. ok is false
+// when the queue is empty.
+func (s *store) peek() (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return Job{}, false
+	}
+	return *s.jobs[s.queue[0]], true
 }
 
 // dequeue pops the oldest queued job and marks it running. ok is false

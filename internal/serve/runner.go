@@ -1,13 +1,20 @@
 package serve
 
-// The scheduler and per-job runner. One runner goroutine drains the
-// FIFO queue, so jobs on the shared device pool execute in admission
-// order — fairness by construction — and every job gets the pool to
-// itself while it runs. Fault isolation follows from the same shape:
-// a job's fault plan (X-Repute-Faults) is installed on the devices just
-// before its attempt and unconditionally disarmed after, so an injected
-// device loss dies with the job that asked for it and the next job sees
-// a healthy pool.
+// The scheduler and per-job runner. One dispatcher goroutine walks the
+// FIFO queue head-of-line: the oldest queued job states how many
+// devices it wants (?devices=K, default 1), the partition allocator
+// hands out that many breaker-healthy free devices, and the job runs on
+// its own goroutine over its disjoint partition — up to MaxConcurrent
+// jobs at once. Admission order still decides who gets devices next
+// (fairness by construction); a job waits only while no healthy device
+// is free. Fault isolation follows from the partition shape: a job's
+// fault plan (X-Repute-Faults) is installed only on that job's
+// partition devices just before its attempt and unconditionally
+// disarmed after, so an injected device loss dies with the job that
+// asked for it. What outlives the job is the device's breaker state —
+// by design: a tripped breaker quarantines the device out of new
+// partitions until the allocator's cooldown ticks half-open it and a
+// canary job re-proves it (DESIGN.md §17).
 
 import (
 	"context"
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -27,43 +35,97 @@ import (
 	"repro/internal/trace"
 )
 
-// runner is the single scheduler goroutine: pop the oldest queued job,
-// run it, repeat; block on wake when idle; exit on stop. It never exits
-// mid-attempt — drain interrupts the attempt at a batch boundary via
-// the emit callback, and only then does the loop observe stop.
+// runner is the dispatcher goroutine: peek the oldest queued job, carve
+// its partition out of the pool, hand it to a worker goroutine, repeat;
+// block on wake when idle or saturated; exit on stop after every worker
+// has finished. Workers never die mid-attempt — drain interrupts each
+// attempt at a batch boundary via the emit callback, and the dispatcher
+// waits for them before reporting done.
 func (s *Server) runner() {
 	defer close(s.runnerDone)
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		select {
 		case <-s.stopCh:
 			return
 		default:
 		}
-		job, ok := s.store.dequeue()
+		if int(s.active.Load()) >= s.cfg.MaxConcurrent {
+			s.waitWake()
+			continue
+		}
+		head, ok := s.store.peek()
 		if !ok {
 			s.updateGauges()
-			select {
-			case <-s.wake:
-			case <-s.stopCh:
-				return
+			s.waitWake()
+			continue
+		}
+		idx, devs, got := s.alloc.acquire(head.Devices)
+		if !got {
+			// Head-of-line blocking: the oldest job waits for devices, and
+			// younger jobs wait behind it — fairness over utilisation. If
+			// jobs are running, one of them will free devices and wake us.
+			// If nothing is running, every device the job could use is
+			// quarantined: loop again immediately — each acquire ticks the
+			// open breakers' cooldowns, so within CooldownSkips passes a
+			// device goes half-open and becomes allocatable.
+			if s.active.Load() > 0 {
+				s.waitWake()
 			}
 			continue
 		}
+		job, ok := s.store.dequeue()
+		if !ok {
+			s.alloc.release(idx)
+			continue
+		}
+		names := make([]string, len(devs))
+		for i, d := range devs {
+			names[i] = d.Name
+		}
+		s.store.update(job.ID, func(j *Job) { j.Partition = names }) //nolint:errcheck
+		s.active.Add(1)
 		s.updateGauges()
-		s.runJob(job)
-		s.updateGauges()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runJob(job, devs)
+			s.alloc.release(idx)
+			s.active.Add(-1)
+			s.updateGauges()
+			s.wakeUp()
+		}()
 	}
 }
 
-// runJob executes one attempt of a job and applies the outcome to the
-// job state machine: success → done, drain stop → interrupted
-// (resumable), deadline → failed (no retry), anything else → requeue
-// while the retry budget lasts, then failed with the typed cl error.
-func (s *Server) runJob(job Job) {
+// waitWake blocks until a worker frees capacity, a submit queues work,
+// or drain begins.
+func (s *Server) waitWake() {
+	select {
+	case <-s.wake:
+	case <-s.stopCh:
+	}
+}
+
+// wakeUp nudges the dispatcher without blocking.
+func (s *Server) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// runJob executes one attempt of a job over its device partition and
+// applies the outcome to the job state machine: success → done, drain
+// stop → interrupted (resumable), deadline → failed (no retry),
+// anything else → requeue while the retry budget lasts, then failed
+// with the typed cl error.
+func (s *Server) runJob(job Job, devs []*cl.Device) {
 	rec := trace.NewRecorder()
 	s.setRecorder(job.ID, rec)
 
-	err := s.runAttempt(job, rec)
+	err := s.runAttempt(job, rec, devs)
 
 	// The attempt's metrics fold into the service registry exactly once
 	// per attempt, whatever the outcome — a failed attempt's retries and
@@ -123,8 +185,8 @@ var errBadInput = errors.New("serve: bad input")
 // SAM truncated to the checkpointed prefix, scanner seeked to the
 // checkpointed offset, codec fast-forwarded, fault ordinals restored —
 // so a resumed job is bit-identical to an uninterrupted one.
-func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
-	p, err := s.newPipeline(rec)
+func (s *Server) runAttempt(job Job, rec *trace.Recorder, devs []*cl.Device) error {
+	p, err := s.newPipeline(rec, devs)
 	if err != nil {
 		return err
 	}
@@ -135,6 +197,7 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 	fingerprint := checkpoint.FingerprintDigest(s.digest, opt,
 		fmt.Sprintf("batch=%d", job.Batch),
 		fmt.Sprintf("cigar=%t", job.Cigar),
+		fmt.Sprintf("devices=%d", job.Devices),
 		"faults="+job.Faults,
 	)
 
@@ -163,15 +226,27 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 	}
 
 	// Per-job chaos: install the job's fault plan with fresh ordinals
-	// (or the checkpointed ones on resume), and always disarm afterwards
-	// — an injected device loss must never outlive the job that carried
-	// it, and the next job must start from a healthy pool.
+	// (or the checkpointed ones on resume) on the job's own partition
+	// only — a device=K directive narrows it further to the Kth
+	// partition member, which is how a chaos run loses one device while
+	// its partition partners stay healthy. Always disarm afterwards: an
+	// injected fault plan must never outlive the job that carried it.
+	// (The breaker state a plan tripped intentionally does outlive it;
+	// readmission goes through the allocator's half-open canary.)
 	if job.Faults != "" {
 		plan, perr := cl.ParseFaultPlan(job.Faults)
 		if perr != nil {
 			return fmt.Errorf("%w: %w", errBadInput, perr)
 		}
-		for _, d := range s.devices {
+		armed := devs
+		if plan.Device > 0 {
+			if plan.Device > len(devs) {
+				return fmt.Errorf("%w: fault directive device=%d exceeds the job's %d-device partition",
+					errBadInput, plan.Device, len(devs))
+			}
+			armed = devs[plan.Device-1 : plan.Device]
+		}
+		for _, d := range armed {
 			d.InstallFaults(plan)
 			if o, ok := st.FaultOrdinals[d.Name]; resume && ok {
 				d.RestoreFaultOrdinals(o)
@@ -179,7 +254,7 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 		}
 	}
 	defer func() {
-		for _, d := range s.devices {
+		for _, d := range devs {
 			d.InstallFaults(nil)
 		}
 	}()
@@ -283,7 +358,7 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 		st.Line = b.Token.Line
 		st.RNGDraws = b.Token.RNGDraws
 		st.SAMBytes = pos
-		st.FaultOrdinals = snapshotOrdinals(s.devices)
+		st.FaultOrdinals = snapshotOrdinals(devs)
 
 		if err := checkpoint.Save(ckptPath, st); err != nil {
 			return err
@@ -321,10 +396,11 @@ func (s *Server) runAttempt(job Job, rec *trace.Recorder) error {
 	return checkpoint.Save(ckptPath, st)
 }
 
-// newPipeline wires a per-job pipeline over the shared index and device
-// pool. The pipeline itself is cheap scaffolding — the FM-indexes and
-// the devices are shared; only the tracer hookup is per job.
-func (s *Server) newPipeline(rec *trace.Recorder) (*core.Pipeline, error) {
+// newPipeline wires a per-job pipeline over the shared index and the
+// job's device partition. The pipeline itself is cheap scaffolding —
+// the FM-indexes are shared and the devices belong to the job for its
+// lifetime; only the tracer hookup is per job.
+func (s *Server) newPipeline(rec *trace.Recorder, devs []*cl.Device) (*core.Pipeline, error) {
 	cfg := core.Config{Name: "REPUTE", Selector: seed.REPUTE{}, Tracer: rec}
 	if s.file.Meta.Sharded() {
 		shards := make([]core.Shard, len(s.file.Indexes))
@@ -337,9 +413,20 @@ func (s *Server) newPipeline(rec *trace.Recorder) (*core.Pipeline, error) {
 				SliceEnd:   sh.SliceEnd,
 			}
 		}
-		return core.NewSharded(shards, s.file.Meta.Overlap, s.devices, cfg)
+		return core.NewSharded(shards, s.file.Meta.Overlap, devs, cfg)
 	}
-	return core.NewFromIndex(s.file.Indexes[0], s.devices, cfg)
+	if len(devs) > 1 {
+		// Read-split with a nil split sends every read to the first
+		// device; a multi-device partition wants the whole partition busy.
+		// The pool is homogeneous, so even shares are the deterministic
+		// choice. (Sharded dispatch rejects Split — shards already spread
+		// the work round-robin.)
+		cfg.Split = make([]float64, len(devs))
+		for i := range cfg.Split {
+			cfg.Split[i] = 1
+		}
+	}
+	return core.NewFromIndex(s.file.Indexes[0], devs, cfg)
 }
 
 // snapshotOrdinals captures every armed device's fault ordinals for the

@@ -1,20 +1,28 @@
 // Package serve is the mapping service: a zero-dependency net/http
-// front end that accepts FASTQ mapping jobs, runs them one at a time —
-// fair FIFO — through core.Pipeline.MapStream over a shared,
-// index-loaded device pool, and serves back SAM. Robustness is the
+// front end that accepts FASTQ mapping jobs, schedules them — FIFO in
+// admission order — onto disjoint partitions of a shared, index-loaded
+// device pool, runs up to MaxConcurrent at once through
+// core.Pipeline.MapStream, and serves back SAM. Robustness is the
 // package's contract, not a feature flag:
 //
 //   - Admission control: a bounded queue (depth + in-flight byte
 //     budget) that answers 429 with Retry-After instead of queueing
-//     unboundedly, and 503 once draining.
+//     unboundedly, and 503 once draining. Retry-After spreads
+//     synchronized clients with deterministic jitter.
 //   - Failure isolation: each job's fault plan (X-Repute-Faults) is
-//     armed on the devices only for that job's attempts and disarmed
-//     after, so an injected device loss never poisons the next job.
+//     armed only on that job's partition for its attempts and disarmed
+//     after, so an injected device loss never poisons a concurrent or
+//     subsequent job.
+//   - Device health: every pool device carries a circuit breaker fed by
+//     the typed fault taxonomy and a simulated-time hang watchdog.
+//     Quarantined (open-breaker) devices are excluded from new
+//     partitions until a half-open canary job readmits them; jobs queue
+//     only while no healthy device is free. DESIGN.md §17.
 //   - Retry budgets: a failing job is re-queued (resuming from its own
 //     checkpoint) until its attempts exceed the budget, then fails
 //     alone with a typed error from the cl taxonomy.
 //   - Graceful drain: SIGTERM (via Drain) stops admission, interrupts
-//     the in-flight job at a batch boundary after its checkpoint is
+//     in-flight jobs at a batch boundary after their checkpoints are
 //     durable, and reports what is resumable; restarting over the same
 //     spool re-queues unfinished jobs and produces byte-identical SAM.
 //
@@ -55,7 +63,9 @@ const (
 	metricQueueDepth      = "serve_queue_depth"
 	metricInflightBytes   = "serve_inflight_bytes"
 	metricReady           = "serve_ready"
+	metricJobsRunning     = "serve_jobs_running"
 	metricJobSimSeconds   = "serve_job_sim_seconds"
+	metricBreakerState    = "device_breaker_state" // + "/<device>"; 0 closed, 1 half-open, 2 open
 )
 
 // Config wires a Server. Index, Devices and Spool are required; zero
@@ -81,6 +91,15 @@ type Config struct {
 	// RetryBudget is how many times a failed attempt may be re-queued
 	// before the job fails for good (default 2: up to 3 attempts).
 	RetryBudget int
+	// MaxConcurrent bounds how many jobs run at once over disjoint
+	// device partitions (default min(4, len(Devices))). 1 restores the
+	// strict one-at-a-time FIFO.
+	MaxConcurrent int
+	// WatchdogFactor is the hang-watchdog multiple armed on every pool
+	// device: an enqueue overrunning factor × its cost-model expectation
+	// is terminated with a typed transient fault. 0 selects the default
+	// of 8; negative disables the watchdog.
+	WatchdogFactor float64
 	// MaxErrors and MaxLocations are the mapping options (defaults 5 and
 	// 100, matching `repute map`).
 	MaxErrors    int
@@ -102,7 +121,11 @@ type Server struct {
 	store   *store
 	mux     *http.ServeMux
 
+	alloc *allocator
+
 	draining   atomic.Bool
+	active     atomic.Int32  // jobs currently running on workers
+	rejectSeq  atomic.Uint64 // monotonic 429 counter, the Retry-After jitter source
 	stopCh     chan struct{}
 	wake       chan struct{}
 	runnerDone chan struct{}
@@ -149,6 +172,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxLocations <= 0 {
 		cfg.MaxLocations = 100
 	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = len(cfg.Devices)
+		if cfg.MaxConcurrent > 4 {
+			cfg.MaxConcurrent = 4
+		}
+	}
+	switch {
+	case cfg.WatchdogFactor == 0:
+		cfg.WatchdogFactor = 8
+	case cfg.WatchdogFactor < 0:
+		cfg.WatchdogFactor = 0
+	}
+	// Device health is always on in the service: every pool device gets
+	// a circuit breaker (default thresholds) and the hang watchdog. The
+	// allocator and the half-open canary flow handle readmission.
+	for _, d := range cfg.Devices {
+		d.EnableBreaker(cl.BreakerConfig{})
+		d.SetWatchdog(cfg.WatchdogFactor)
+	}
 
 	g, err := genome.FromContigs(cfg.Index.Meta.Contigs)
 	if err != nil {
@@ -173,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		devices:    cfg.Devices,
 		reg:        trace.NewRegistry(),
 		store:      st,
+		alloc:      newAllocator(cfg.Devices),
 		stopCh:     make(chan struct{}),
 		wake:       make(chan struct{}, 1),
 		runnerDone: make(chan struct{}),
@@ -245,16 +288,21 @@ func (s *Server) ready() bool {
 	return n < s.cfg.MaxQueue && b < s.cfg.MaxInflightBytes
 }
 
-// updateGauges refreshes the queue-shaped gauges after any transition.
+// updateGauges refreshes the queue-shaped and health gauges after any
+// transition.
 func (s *Server) updateGauges() {
 	n, b := s.store.depth()
 	s.reg.Gauge(metricQueueDepth).Set(float64(n))
 	s.reg.Gauge(metricInflightBytes).Set(float64(b))
+	s.reg.Gauge(metricJobsRunning).Set(float64(s.active.Load()))
 	ready := 0.0
 	if s.ready() {
 		ready = 1.0
 	}
 	s.reg.Gauge(metricReady).Set(ready)
+	for _, d := range s.devices {
+		s.reg.Gauge(metricBreakerState + "/" + d.Name).Set(float64(d.BreakerState()))
+	}
 }
 
 // writeJSON writes v as indented JSON with the given status.
@@ -283,8 +331,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job := Job{Batch: s.cfg.DefaultBatch}
+	job := Job{Batch: s.cfg.DefaultBatch, Devices: 1}
 	q := r.URL.Query()
+	if v := q.Get("devices"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > len(s.devices) {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(
+				"bad devices %q (want 1..%d)", v, len(s.devices))})
+			return
+		}
+		job.Devices = n
+	}
 	if v := q.Get("batch"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
@@ -320,8 +377,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		job.DeadlineMS = n
 	}
 	if fp := r.Header.Get("X-Repute-Faults"); fp != "" {
-		if _, err := cl.ParseFaultPlan(fp); err != nil {
+		plan, err := cl.ParseFaultPlan(fp)
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		if plan.Device > job.Devices {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(
+				"fault directive device=%d exceeds the job's %d-device partition", plan.Device, job.Devices)})
 			return
 		}
 		job.Faults = fp
@@ -397,13 +460,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // rejectOverload answers 429 with a Retry-After proportional to the
-// backlog — the contract that the queue never grows unboundedly.
+// backlog — the contract that the queue never grows unboundedly. The
+// base delay (current queue depth) is spread with deterministic jitter
+// over [base, 2*base] so a herd of synchronized clients does not come
+// back in one stampede: the jitter source is a monotonic rejection
+// counter, not a clock or math/rand, keeping replays reproducible.
 func (s *Server) rejectOverload(w http.ResponseWriter, depth int) {
 	s.reg.Counter(metricJobsRejected + "/overload").Add(1)
-	retry := depth
-	if retry < 1 {
-		retry = 1
+	base := depth
+	if base < 1 {
+		base = 1
 	}
+	n := s.rejectSeq.Add(1)
+	retry := base + int(n%uint64(base+1))
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeJSON(w, http.StatusTooManyRequests, apiError{Error: "queue full: retry later"})
 }
@@ -471,11 +540,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics is GET /metrics: the service registry (scheduler
 // counters and gauges plus every finished attempt's folded pipeline
-// metrics) as deterministic JSON.
+// metrics) as deterministic JSON, or — with ?format=prom — as the
+// Prometheus text exposition format for scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.updateGauges()
-	w.Header().Set("Content-Type", "application/json")
-	s.reg.Snapshot().WriteJSON(w) //nolint:errcheck // client gone is not our error
+	snap := s.reg.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w) //nolint:errcheck // client gone is not our error
+	case "prom":
+		w.Header().Set("Content-Type", trace.PrometheusContentType)
+		snap.WritePrometheus(w) //nolint:errcheck // client gone is not our error
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(
+			"bad format %q (want json or prom)", format)})
+	}
 }
 
 // handleTrace is GET /trace/{id}: the job's latest attempt as a Chrome

@@ -1,0 +1,180 @@
+package trace
+
+// Prometheus text exposition (version 0.0.4) for metric snapshots. The
+// registry's native naming convention suffixes a metric family with a
+// "/segment" discriminator (device lane, kernel, skip reason); the
+// exposition maps that onto Prometheus labels — "enqueues_total/CPU-A"
+// becomes `enqueues_total{segment="CPU-A"}` — so one family groups its
+// per-device series the way Prometheus tooling expects. Output is fully
+// deterministic: families and series are sorted, floats render with the
+// same formatFloat the JSON snapshot uses, and equal snapshots expose
+// byte-identical text.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format: a `# TYPE` line per family followed by its series in sorted
+// order. Counters and gauges map directly; histograms expose the
+// standard cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. Names are sanitised to the Prometheus grammar and the
+// "/segment" suffix becomes a segment label.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct {
+		label string // rendered label set, "" or `{segment="..."}`
+		value string
+	}
+	// Group each metric kind's series by sanitised family so a family's
+	// TYPE line is emitted exactly once even when several raw names
+	// (differing only in segment) map onto it.
+	group := func(names []string, value func(string) string) (map[string][]series, []string) {
+		fams := map[string][]series{}
+		for _, name := range names {
+			fam, seg := splitFamily(name)
+			lbl := ""
+			if seg != "" {
+				lbl = `{segment="` + escapeLabel(seg) + `"}`
+			}
+			fams[fam] = append(fams[fam], series{label: lbl, value: value(name)})
+		}
+		order := make([]string, 0, len(fams))
+		for fam := range fams {
+			order = append(order, fam)
+		}
+		sort.Strings(order)
+		return fams, order
+	}
+
+	cFams, cOrder := group(sortedKeys(s.Counters), func(n string) string {
+		return strconv.FormatInt(s.Counters[n], 10)
+	})
+	for _, fam := range cOrder {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+			return err
+		}
+		for _, sr := range cFams[fam] {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, sr.label, sr.value); err != nil {
+				return err
+			}
+		}
+	}
+
+	gFams, gOrder := group(sortedKeys(s.Gauges), func(n string) string {
+		return formatFloat(s.Gauges[n])
+	})
+	for _, fam := range gOrder {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+			return err
+		}
+		for _, sr := range gFams[fam] {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, sr.label, sr.value); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range sortedKeys(s.Histograms) {
+		fam, seg := splitFamily(name)
+		pre := ""
+		if seg != "" {
+			pre = `segment="` + escapeLabel(seg) + `",`
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		hs := s.Histograms[name]
+		// Snapshot buckets are non-cumulative with empty buckets omitted
+		// and "+Inf" last; re-sort defensively by bound and accumulate
+		// into the cumulative counts the exposition format requires.
+		buckets := append([]BucketSnapshot(nil), hs.Buckets...)
+		sort.SliceStable(buckets, func(i, j int) bool {
+			return bucketBound(buckets[i].LE) < bucketBound(buckets[j].LE)
+		})
+		cum := int64(0)
+		for _, b := range buckets {
+			if b.LE == "+Inf" {
+				continue // folded into the final +Inf line below
+			}
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", fam, pre, b.LE, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", fam, pre, hs.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, braced(pre), formatFloat(hs.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, braced(pre), hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketBound orders bucket bounds numerically; "+Inf" (and anything
+// unparsable) sorts last.
+func bucketBound(le string) float64 {
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil || le == "+Inf" {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// splitFamily separates a registry name into its Prometheus family and
+// segment: the part before the first "/" (sanitised to the metric-name
+// grammar) and everything after it.
+func splitFamily(name string) (fam, segment string) {
+	fam, segment, _ = strings.Cut(name, "/")
+	return sanitizeName(fam), segment
+}
+
+// sanitizeName maps a registry family onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other byte with '_'.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// braced wraps a trailing-comma label prefix into a full label set for
+// the _sum/_count series ("" stays "").
+func braced(pre string) string {
+	if pre == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(pre, ",") + "}"
+}

@@ -201,6 +201,9 @@ func (r *Recorder) Validate() error {
 //	failovers_total              counter: failover + deadline-migrate instants
 //	records_skipped_total        counter: record-skipped instants (lenient ingest)
 //	records_skipped_total/<reason>  counter: same, broken down by reason attr
+//	watchdog_fired_total         counter: watchdog-fired instants (hang kills)
+//	device_quarantined_total     counter: breaker-open instants (breaker trips)
+//	device_readmitted_total      counter: breaker-closed instants (canary passed)
 //	kernel_seconds/<kernel>      gauge: summed enqueue:* span durations per kernel
 //	enqueue_seconds              histogram: enqueue:* span durations
 //	item_ops                     histogram: per-item op counts (if observed)
@@ -272,6 +275,12 @@ func (r *Recorder) Metrics() Snapshot {
 				reg.Counter("batch_halvings_total").Add(1)
 			case "failover", "deadline-migrate":
 				reg.Counter("failovers_total").Add(1)
+			case "watchdog-fired":
+				reg.Counter("watchdog_fired_total").Add(1)
+			case "breaker-open":
+				reg.Counter("device_quarantined_total").Add(1)
+			case "breaker-closed":
+				reg.Counter("device_readmitted_total").Add(1)
 			case "record-skipped":
 				reg.Counter("records_skipped_total").Add(1)
 				for _, a := range ev.Attrs {
